@@ -1,0 +1,166 @@
+"""Section 9 ablations: why existing replay techniques fail in Choir's niche.
+
+Three comparisons, each quantifying a related-work limitation the paper
+argues from:
+
+1. **MoonGen-style invalid-packet gap control** — nanosecond-accurate on
+   owned line rate, but gaps shatter behind a contended shared port
+   (FABRIC's SR-IOV NICs), and it burns the full wire even when idle.
+2. **tcpreplay-style sleep pacing** — OS timer granularity makes µs-scale
+   IAT errors at multi-Mpps rates; Choir's TSC busy-poll stays in the
+   tens of ns.
+3. **Choir on the same shared port** — degrades gracefully instead of
+   collapsing, because it never assumes wire ownership.
+"""
+
+import numpy as np
+
+from repro.analysis import render_metric_rows
+from repro.core import Trial, compare_trials
+from repro.generators import CaptureReplaySource, MoonGenGapControl, TCPNoiseGenerator
+from repro.net import PacketArray, SharedPort
+
+
+def _gap_stats(achieved, target):
+    err = np.abs(achieved[1:] - target[1:])
+    return float(np.mean(err)), float(np.percentile(err, 99))
+
+
+def test_moongen_gap_control_vs_shared_port(once, emit):
+    rng = np.random.default_rng(1)
+    n = 20_000
+    sizes = np.full(n, 1400)
+    gaps = np.full(n, 284.0)
+    gaps[0] = 0.0
+    mg = MoonGenGapControl(rate_bps=100e9)
+
+    bg = TCPNoiseGenerator(n_streams=8, mean_rate_bps=40e9).generate(
+        n * 284.0 * 1.2, rng
+    )
+
+    def run_both():
+        quiet = mg.transmit(sizes, gaps)
+        loud = mg.transmit(
+            sizes, gaps, shared_port=SharedPort(rate_bps=100e9), background=bg
+        )
+        return quiet, loud
+
+    quiet, loud = once(run_both)
+    q_mean, q_p99 = _gap_stats(quiet.achieved_gaps_ns, quiet.target_gaps_ns)
+    l_mean, l_p99 = _gap_stats(loud.achieved_gaps_ns, loud.target_gaps_ns)
+    emit(
+        "ablation_moongen_shared",
+        render_metric_rows([
+            {"setting": "dedicated line rate", "mean_gap_err_ns": q_mean, "p99_gap_err_ns": q_p99},
+            {"setting": "shared port, 40G co-tenant", "mean_gap_err_ns": l_mean, "p99_gap_err_ns": l_p99},
+        ])
+        + f"\nfiller frames burned: {quiet.n_fillers:,} "
+        f"(wire fully occupied even with no useful traffic)\n",
+    )
+    assert q_mean < 6.0  # sub-filler-frame accuracy when the wire is owned
+    assert l_mean > 10 * q_mean  # collapse under sharing (Section 9)
+
+
+def test_sleep_vs_busy_pacing(once, emit):
+    rng = np.random.default_rng(2)
+    n = 50_000
+    cap = PacketArray.uniform(n, 1400, np.arange(n) * 284.0)
+    ref = np.arange(n) * 284.0
+
+    def run_policies():
+        out = {}
+        for pol in ("asap", "sleep", "busy"):
+            src = CaptureReplaySource(rate_bps=100e9, policy=pol)
+            t = src.replay(cap, np.random.default_rng(7)).times_ns
+            out[pol] = np.abs((t - t[0]) - ref).mean()
+        return out
+
+    errs = once(run_policies)
+    emit(
+        "ablation_pacing_policies",
+        render_metric_rows(
+            [{"policy": k, "mean_abs_schedule_err_ns": v} for k, v in errs.items()]
+        )
+        + "\n(tcpreplay ~ sleep; Choir ~ busy; --topspeed ~ asap)\n",
+    )
+    assert errs["busy"] < errs["sleep"] / 50
+    assert errs["asap"] > errs["sleep"]  # ignoring gaps is worst of all
+
+
+def test_tcp_connection_replay_fidelity(once, emit):
+    """TCPOpera/DETER semantics vs Choir: byte streams survive, IATs don't.
+
+    A connection-level replay reproduces every byte of a TCP workload yet
+    its packet-level timing is synthetic: MSS resegmentation plus a 5 µs
+    pacing floor erase the original inter-arrival structure Choir
+    preserves.  We quantify the IAT error of a connection replay against
+    the 'original' packet schedule it was derived from.
+    """
+    from repro.generators import TCPConnectionReplayer, synthesize_connections
+
+    rng = np.random.default_rng(5)
+    records = synthesize_connections(200, rng, window_ns=20e6)
+
+    def run_replay():
+        return TCPConnectionReplayer(min_gap_ns=5_000.0).replay(records)
+
+    out = once(run_replay)
+    total_bytes = sum(r.bytes_a_to_b for r in records)
+    # Exact byte accounting: every connection contributes 2 control frames
+    # (60 B) and data segments carrying 52 B of headers each.
+    from repro.generators.tcpconn import CTRL_BYTES
+
+    n_ctrl = 2 * len(records)
+    n_data = len(out) - n_ctrl
+    replayed_bytes = int(out.sizes.sum()) - n_ctrl * CTRL_BYTES - n_data * 52
+    gaps = np.diff(out.times_ns)
+    emit(
+        "ablation_tcp_replay",
+        render_metric_rows([{
+            "recorded_bytes": total_bytes,
+            "replayed_bytes": replayed_bytes,
+            "packets": len(out),
+            "min_gap_ns": float(gaps.min()) if gaps.size else 0.0,
+            "median_gap_ns": float(np.median(gaps)),
+        }])
+        + "\nbyte-stream fidelity: exact; packet-timing fidelity: none —\n"
+        "segmentation and gaps are regenerated (TCPOpera), with a 5 us\n"
+        "pacing floor (DETER).  Non-TCP traffic is rejected outright.\n",
+    )
+    # The byte stream reproduces exactly...
+    assert replayed_bytes == total_bytes
+    # ...but within any one connection, sub-5µs inter-arrival structure
+    # cannot exist (merged-stream gaps can still be small where
+    # connections overlap — that's cross-flow interleave, not pacing).
+    from repro.generators import TCPConnectionReplayer as _Replayer
+
+    one = _Replayer(min_gap_ns=5_000.0).replay_connection(records[0])
+    if len(one) > 3:
+        data_gaps = np.diff(one.times_ns[1:-1])
+        assert np.all(data_gaps >= 5_000.0 - 1e-9)
+
+
+def test_choir_degrades_gracefully_on_shared_port(once, emit):
+    """Replay consistency with vs without a co-tenant, same replayer."""
+    from repro.testbeds import Testbed, fabric_shared_40g, fabric_shared_40g_noisy
+
+    def run_pair():
+        quiet = Testbed(fabric_shared_40g().at_duration(20e6), seed=3).run_series(2)
+        noisy = Testbed(fabric_shared_40g_noisy().at_duration(20e6), seed=3).run_series(2)
+        return (
+            compare_trials(quiet[0], quiet[1]),
+            compare_trials(noisy[0], noisy[1]),
+        )
+
+    quiet, noisy = once(run_pair)
+    emit(
+        "ablation_choir_shared",
+        render_metric_rows([
+            {"setting": "quiet shared port", "I": quiet.metrics.i, "kappa": quiet.kappa},
+            {"setting": "contended shared port", "I": noisy.metrics.i, "kappa": noisy.kappa},
+        ])
+        + "\nChoir still completes the replay and quantifies the damage —\n"
+        "the invalid-packet techniques cannot run here at all.\n",
+    )
+    assert noisy.kappa < quiet.kappa
+    assert noisy.kappa > 0.5  # degraded, not destroyed

@@ -1,0 +1,97 @@
+"""Performance benchmarks of the analysis layer itself.
+
+The artifact appendix budgets "no more than 5 minutes" per trial for
+analysis; these benchmarks pin where this implementation actually spends
+its time at paper scale and that the streaming path holds its
+constant-memory promise at high throughput.  Unlike the figure/table
+benches (one deterministic round), these run multiple pytest-benchmark
+rounds — they measure code, not simulations.
+"""
+
+import numpy as np
+
+from repro.analysis import StreamingComparison
+from repro.core import (
+    Trial,
+    count_inversions,
+    kendall_tau_distance,
+    longest_increasing_subsequence,
+    match_trials,
+    ordering_variation,
+)
+
+N = 1_055_648  # the paper's Section-6.1 capture size
+
+
+def _aligned_pair(seed=0, n=N):
+    rng = np.random.default_rng(seed)
+    base = np.cumsum(rng.exponential(284.0, n))
+    tags = np.arange(n, dtype=np.int64)
+    b = np.maximum.accumulate(base + rng.normal(0, 8.0, n))
+    return Trial(tags, base, label="A"), Trial(tags, b, label="B")
+
+
+def test_matching_throughput(benchmark):
+    """Tag matching (argsort + intersect) at 1.05M packets."""
+    a, b = _aligned_pair()
+    m = benchmark(match_trials, a, b)
+    assert m.n_common == N
+
+
+def test_streaming_throughput(benchmark):
+    """The constant-memory path: packets/second through the accumulator."""
+    a, b = _aligned_pair()
+    chunk = 65_536
+
+    def run():
+        sc = StreamingComparison()
+        for lo in range(0, N, chunk):
+            hi = lo + chunk
+            sc.update(a.tags[lo:hi], a.times_ns[lo:hi],
+                      b.tags[lo:hi], b.times_ns[lo:hi])
+        return sc.result()
+
+    result = benchmark(run)
+    assert result.i >= 0.0
+    # Throughput note lands in the benchmark table via the timer; assert
+    # the workload actually streamed everything.
+
+
+def test_ordering_metrics_on_permuted_capture(benchmark):
+    """LIS-based O and Kendall tau on a 200k-packet interleave."""
+    rng = np.random.default_rng(1)
+    n = 200_000
+    # An interleave-like permutation: two ordered halves merged randomly.
+    take = np.sort(rng.choice(n, n // 2, replace=False))
+    perm = np.empty(n, dtype=np.int64)
+    perm[take] = np.arange(n // 2)
+    rest = np.setdiff1d(np.arange(n), take)
+    perm[rest] = np.arange(n // 2, n)
+    t = np.arange(n, dtype=np.float64) * 284.0
+    a = Trial(np.arange(n), t, label="A")
+    b = Trial(perm, t, label="B")
+
+    def run():
+        return ordering_variation(a, b), kendall_tau_distance(a, b)
+
+    o, tau = benchmark(run)
+    assert 0.0 <= o <= 1.0 and 0.0 <= tau <= 1.0
+
+
+def test_lis_scaling(benchmark):
+    """The one O(n log n) Python loop, at paper scale."""
+    rng = np.random.default_rng(2)
+    perm = rng.permutation(N)
+    idx = benchmark(longest_increasing_subsequence, perm)
+    assert idx.shape[0] > 1000  # E[LIS] ~ 2*sqrt(N)
+
+
+def test_inversion_counting_scaling(benchmark):
+    """Merge-sort inversion counting at paper scale."""
+    rng = np.random.default_rng(3)
+    perm = rng.permutation(N)
+    inv = benchmark(count_inversions, perm)
+    # A uniform permutation inverts ~half of all pairs.
+    assert inv == int(N * (N - 1) / 4 * 1.0) or abs(
+        inv / (N * (N - 1) / 4) - 1.0
+    ) < 0.01

@@ -1,0 +1,36 @@
+"""Figures 4a/4b + the Section 6.1 metric rows (local single replayer).
+
+Paper values to compare shapes against:
+U = O = 0; 92.23-92.51 % of IAT deltas within ±10 ns; I 0.0268-0.0309;
+L 2.5e-6 - 9.0e-6; κ 0.9845-0.9866.
+"""
+
+import numpy as np
+
+from repro.analysis import render_metric_rows
+from repro.experiments import fig4, run_scenario, scenario
+
+
+def test_fig4_series_and_metrics(once, emit):
+    fig4a, fig4b = once(lambda: fig4())
+    report = run_scenario("local-single")  # memoized: same series
+
+    rows = report.run_rows()
+    paper = scenario("local-single").paper
+    text = [
+        fig4a.render(),
+        fig4b.render(),
+        "Section 6.1 per-run metrics:",
+        render_metric_rows(rows, columns=["run", "U", "O", "I", "L", "kappa", "pct_iat_10ns"]),
+        f"paper: U={paper.u} O={paper.o} I={paper.i} L={paper.l} kappa={paper.kappa} "
+        f"pct10={paper.pct10_low}-{paper.pct10_high}",
+    ]
+    emit("fig4_local_single", "\n".join(text))
+
+    # Shape assertions (paper Section 6.1).
+    assert np.all(report.values("U") == 0.0)
+    assert np.all(report.values("O") == 0.0)
+    pct = report.pct_iat_within_10ns()
+    assert np.all(pct > 85.0)
+    assert 0.5 * paper.i < report.values("I").mean() < 2.0 * paper.i
+    assert abs(report.values("kappa").mean() - paper.kappa) < 0.01

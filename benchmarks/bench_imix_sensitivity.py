@@ -1,0 +1,59 @@
+"""Workload-sensitivity ablation: is κ an artifact of fixed-size packets?
+
+The paper's entire evaluation uses 1400-byte CBR.  This ablation replays
+an IMIX workload (64/576/1500 at 7:4:1) through the identical local
+environment at the same *packet* rate and compares the consistency
+characterization.  Expected: the intra-burst core thins slightly (mixed
+serialization times spread the wire spacing, and smaller mean frames
+change burst byte budgets) but κ stays in the same band — the metric
+characterizes the *environment*, not the workload.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.analysis import render_metric_rows
+from repro.core import compare_series
+from repro.generators import IMIXGenerator
+from repro.testbeds import Testbed, local_single_replayer
+
+
+def test_imix_vs_fixed_size(once, emit):
+    fixed_profile = local_single_replayer().at_duration(20e6)
+    pps = fixed_profile.rate_bps / (fixed_profile.packet_bytes * 8)
+    imix_profile = replace(
+        fixed_profile,
+        name="local-single-imix",
+        workload=IMIXGenerator(pps=pps),
+    )
+
+    def run_both():
+        out = {}
+        for profile in (fixed_profile, imix_profile):
+            trials = Testbed(profile, seed=17).run_series(4)
+            out[profile.name] = compare_series(trials, environment=profile.name)
+        return out
+
+    reports = once(run_both)
+    rows = []
+    for name, rep in reports.items():
+        row = rep.mean_row()
+        row["pct10"] = float(rep.pct_iat_within_10ns().mean())
+        rows.append(row)
+    emit(
+        "ablation_imix",
+        render_metric_rows(rows, columns=["environment", "U", "O", "I", "L", "kappa", "pct10"])
+        + f"\n(same environment, same packet rate {pps / 1e6:.2f} Mpps; "
+        "1400 B fixed vs 64/576/1500 IMIX)\n",
+    )
+
+    fixed = reports["local-single"]
+    imix = reports["local-single-imix"]
+    # The characterization is workload-robust: kappa within a few
+    # hundredths, no drops/reordering either way.
+    assert np.all(imix.values("U") == 0.0)
+    assert np.all(imix.values("O") == 0.0)
+    assert abs(
+        imix.values("kappa").mean() - fixed.values("kappa").mean()
+    ) < 0.05

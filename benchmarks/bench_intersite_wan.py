@@ -1,0 +1,51 @@
+"""Future-work extension: consistency across a wide-area inter-site path.
+
+Section 10 envisions exploring the κ metric "in more varied
+environments".  The starkest variation FABRIC offers is an inter-site
+circuit; this bench quantifies it against the same-site baseline:
+
+* same-site (shared 40G, quiet): κ ≈ 0.97;
+* inter-site, single path: WAN queueing jitter swamps every LAN-scale
+  mechanism — I jumps several-fold, κ falls toward the anomalous-40G
+  band, yet O stays 0 (the circuit is FIFO);
+* inter-site over ECMP: the *network itself* reorders (path-skew races),
+  the first environment where O > 0 without multiple replayers.
+"""
+
+import numpy as np
+
+from repro.analysis import render_metric_rows
+from repro.core import compare_series
+from repro.experiments import run_scenario
+from repro.testbeds import Testbed
+from repro.testbeds.fabric import fabric_intersite_40g
+
+
+def test_intersite_consistency(once, emit):
+    def run_all():
+        out = {}
+        for label, ecmp in (("intersite-fifo", 1), ("intersite-ecmp4", 4)):
+            profile = fabric_intersite_40g(ecmp_paths=ecmp).at_duration(20e6)
+            trials = Testbed(profile, seed=13).run_series(4)
+            out[label] = compare_series(trials, environment=label)
+        return out
+
+    reports = once(run_all)
+    same_site = run_scenario("fabric-shared-40g")
+
+    rows = [same_site.mean_row()]
+    rows += [rep.mean_row() for rep in reports.values()]
+    emit(
+        "intersite_wan",
+        render_metric_rows(rows, columns=["environment", "U", "O", "I", "L", "kappa"])
+        + "\n(10 ms circuit, lognormal router jitter; ecmp4 adds 60 us path skew)\n",
+    )
+
+    fifo = reports["intersite-fifo"]
+    ecmp = reports["intersite-ecmp4"]
+    # WAN jitter swamps the same-site environment.
+    assert fifo.values("I").mean() > 3 * same_site.values("I").mean()
+    assert fifo.values("kappa").mean() < same_site.values("kappa").mean() - 0.05
+    # FIFO circuit: no reordering; ECMP: the network reorders.
+    assert np.all(fifo.values("O") == 0.0)
+    assert np.any(ecmp.values("O") > 0.0)

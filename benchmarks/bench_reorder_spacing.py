@@ -1,0 +1,52 @@
+"""Section 9's Bellardo-Savage comparison: reordering vs send spacing.
+
+The paper positions its O metric against B&S's "reordering as a
+probability as a function of inter-packet spacing" and notes its own
+distances "could also be shown as a function of spacing".  This benchmark
+does exactly that on the reproduction's captures:
+
+* the local single-replayer runs show **zero** reordering at every lag;
+* the dual-replayer merge shows per-node streams still in order (each
+  node's substream is FIFO end-to-end) — the run-to-run displacement the
+  O metric catches is invisible to the within-run B&S view, demonstrating
+  why the paper needed a *cross-trial* ordering metric.
+"""
+
+import numpy as np
+
+from repro.analysis import render_metric_rows
+from repro.core import reorder_probability_by_spacing
+from repro.experiments import run_scenario_trials
+
+
+def test_reorder_by_spacing(once, emit):
+    def measure():
+        single = run_scenario_trials("local-single")[0]
+        dual = run_scenario_trials("local-dual")[0]
+        return (
+            reorder_probability_by_spacing(single, max_lag=8),
+            reorder_probability_by_spacing(dual, max_lag=8),
+        )
+
+    single, dual = once(measure)
+
+    rows = []
+    for k, ps, pd in zip(single.lags, single.probability, dual.probability):
+        rows.append({
+            "lag": int(k),
+            "p_single": float(ps),
+            "p_dual_per_node": float(pd),
+        })
+    emit(
+        "reorder_by_spacing",
+        render_metric_rows(rows)
+        + "\nB&S view: within-capture, per-node send order vs arrival order.\n"
+        "Both columns are ~0: each node's stream is FIFO end-to-end, so the\n"
+        "dual-replayer inconsistency (O > 0 *between runs*) is invisible to\n"
+        "a single-trial reordering measure — the gap the paper's cross-trial\n"
+        "metric fills.\n",
+    )
+
+    assert not single.any_reordering
+    # Per-node arrival order survives the merge (switch is FIFO per flow).
+    assert np.all(dual.probability < 0.01)

@@ -1,0 +1,57 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+(or reuses — scenario series are memoized per process) the corresponding
+simulated evaluation, times the analysis step with pytest-benchmark, and
+emits the rendered rows/series both to stdout and to
+``benchmarks/out/<name>.txt`` so the artifacts survive the run.
+
+Scale: ``REPRO_SCALE`` (default 0.25) scales capture duration relative to
+the paper's 0.3 s.  ``REPRO_SCALE=1`` reproduces at full paper scale
+(~1.05M packets per run); metrics are duration-invariant (see
+tests/test_scaling_invariance.py), except the clock-step share of L which
+grows as durations shrink.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def outdir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def emit(outdir):
+    """Write a rendered artifact to benchmarks/out/ and echo it."""
+
+    def _emit(name: str, text: str) -> Path:
+        path = outdir / f"{name}.txt"
+        path.write_text(text)
+        sys.stdout.write(f"\n=== {name} ===\n{text}\n")
+        return path
+
+    return _emit
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a heavy analysis exactly once under the benchmark timer.
+
+    Scenario simulation + Section-3 analysis at paper scale take seconds;
+    multi-round autocalibration would multiply that for no statistical
+    benefit (the workload is deterministic given the memoized trials).
+    """
+
+    def _once(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return _once

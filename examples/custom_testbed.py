@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Model your own testbed and predict its consistency before measuring.
+
+The profiles shipping with this package describe the paper's two
+testbeds, but :class:`~repro.testbeds.EnvironmentProfile` is a kit: plug
+in your switch, NIC, clock, and scheduling characteristics and the
+calibration model predicts the metric magnitudes you should observe —
+then the simulator checks the prediction.
+
+This example builds a hypothetical 25 Gbps edge testbed (cheap NICs,
+software switch, containerized apps) and compares prediction vs
+simulation.
+
+Run:  python examples/custom_testbed.py
+"""
+
+from repro import compare_series
+from repro.analysis import render_metric_rows
+from repro.net import SwitchModel, TxNicModel
+from repro.replay import PollLoopCost, ReplayTimingModel
+from repro.testbeds import EnvironmentProfile, Testbed, expected_metrics
+from repro.timing import RealtimeHWStamper
+
+
+def main() -> None:
+    profile = EnvironmentProfile(
+        name="edge-25g",
+        rate_bps=10e9,              # 10 Gbps of traffic on a 25 Gbps port
+        packet_bytes=1400,
+        duration_ns=50e6,           # 50 ms captures
+        loop_cost=PollLoopCost(iteration_ns=3000.0, per_packet_ns=60.0),
+        tx_nic=TxNicModel(rate_bps=25e9, pull_delay_ns=1200.0, pull_jitter=0.3),
+        switch=SwitchModel(
+            name="software-switch",
+            pipeline_latency_ns=15_000.0,  # a DPDK vSwitch, not an ASIC
+            jitter_ns=40.0,
+            egress_rate_bps=25e9,
+        ),
+        rx_stamper=RealtimeHWStamper(jitter_ns=6.0, resolution_ns=8.0),
+        replay_timing=ReplayTimingModel(
+            poll_granularity_ns=80.0,
+            stall_prob=5e-3,           # containers share cores
+            stall_scale_ns=12_000.0,
+            freq_error_ppm=15.0,
+        ),
+        shared_port_rate_bps=25e9,
+        notes="Hypothetical containerized edge testbed.",
+    )
+
+    predicted = expected_metrics(profile)
+    print("calibration-model prediction:")
+    print(f"  equilibrium burst size : {predicted.burst_size:.1f} packets")
+    print(f"  IAT deltas within 10ns : {predicted.pct_iat_within_10ns:.1f} %")
+    print(f"  I (IAT variation)      : {predicted.i_total:.4f}")
+    print(f"  L (latency variation)  : {predicted.l_total:.2e}")
+    print()
+
+    print("simulating 5 runs ...")
+    trials = Testbed(profile, seed=3).run_series(5)
+    report = compare_series(trials, environment=profile.name)
+    row = report.mean_row()
+    row["pct10"] = float(report.pct_iat_within_10ns().mean())
+    print(render_metric_rows([row]))
+
+    ratio = row["I"] / predicted.i_total if predicted.i_total else float("nan")
+    print(f"prediction quality: measured I / predicted I = {ratio:.2f} "
+          "(the closed forms are first-order; 0.7-1.4 is normal)")
+
+
+if __name__ == "__main__":
+    main()

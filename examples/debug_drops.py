@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Use Choir as a debugging tool: localize drops and reordering.
+
+Section 1 motivates Choir for debugging — non-deterministic failures on
+shared infrastructure get misread as application bugs.  This example
+shows the debugging workflow on the paper's noisy shared-NIC scenario:
+
+1. replay the same recording repeatedly while a co-tenant hammers the
+   shared port;
+2. detect that runs disagree (U > 0) via the metrics;
+3. identify exactly *which* packets vanished using the tag algebra —
+   including which replay node emitted them and where in the stream they
+   sat — the kind of evidence that separates "my protocol is buggy" from
+   "the testbed dropped my packets".
+
+Run:  python examples/debug_drops.py
+"""
+
+import numpy as np
+
+from repro.analysis import render_metric_rows, split_tags
+from repro.core import compare_trials
+from repro.experiments import run_scenario_trials
+
+
+def main() -> None:
+    print("replaying on FABRIC shared NICs against an iperf3 co-tenant ...")
+    trials = run_scenario_trials("fabric-shared-40g-noisy", duration_scale=0.2)
+    baseline = trials[0]
+
+    rows = []
+    for run in trials[1:]:
+        report = compare_trials(baseline, run)
+        rows.append(report.row())
+    print(render_metric_rows(rows, columns=["run", "U", "kappa", "n_missing"]))
+
+    # Drill into the worst run: which packets are missing?
+    worst = max(trials[1:], key=lambda t: len(baseline) - len(t))
+    missing_tags = np.setdiff1d(baseline.tags, worst.tags)
+    if missing_tags.size == 0:
+        print("no drops this time — the co-tenant load is bursty; rerun to catch one")
+        return
+
+    replayer_ids, sequences = split_tags(missing_tags)
+    print(f"run {worst.label}: {missing_tags.size} packets missing")
+    for rid in np.unique(replayer_ids):
+        seqs = sequences[replayer_ids == rid]
+        print(
+            f"  replayer {rid}: {seqs.size} drops, "
+            f"sequence range {seqs.min()}..{seqs.max()}"
+        )
+
+    # Where in time did they vanish?  Look the tags up in the baseline.
+    pos = np.flatnonzero(np.isin(baseline.tags, missing_tags))
+    t = baseline.times_ns[pos]
+    print(
+        f"  drop window in the baseline timeline: "
+        f"{t.min() / 1e6:.3f} ms .. {t.max() / 1e6:.3f} ms "
+        f"({pos.size} packets across {np.unique(pos // 1000).size} ms-scale clusters)"
+    )
+    print("\nconclusion: losses cluster in contention windows on the shared port —")
+    print("testbed-induced, not an application bug.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: measure a testbed's consistency with Choir.
+
+Reproduces the paper's core workflow in ~20 lines:
+
+1. pick an environment (the paper's local bare-metal testbed);
+2. record one Choir replay buffer and replay it five times;
+3. compare runs B-E against run A with the Section-3 metrics;
+4. print the per-run metrics, the κ score, and the IAT-delta histogram.
+
+Run:  python examples/quickstart.py  [duration_ms]
+"""
+
+import sys
+
+from repro import compare_series
+from repro.analysis import render_histogram, render_metric_rows
+from repro.testbeds import Testbed, local_single_replayer
+
+
+def main() -> None:
+    duration_ms = float(sys.argv[1]) if len(sys.argv) > 1 else 30.0
+
+    # The paper's Section-6 environment: 40 Gbps of 1400-byte packets
+    # through a Tofino2, recorded on an Intel E810.
+    profile = local_single_replayer().at_duration(duration_ms * 1e6)
+    print(f"environment: {profile.name}  ({profile.describe()})")
+
+    # Record once, replay five times (run A is the baseline).
+    trials = Testbed(profile, seed=7).run_series(5)
+    print(f"captured {len(trials)} runs of {len(trials[0]):,} packets each\n")
+
+    # The Section-3 analysis: U, O, L, I and the compound kappa.
+    report = compare_series(trials, environment=profile.name)
+    print("per-run metrics vs run A:")
+    print(render_metric_rows(
+        report.run_rows(),
+        columns=["run", "U", "O", "I", "L", "kappa", "pct_iat_10ns"],
+    ))
+    print("environment mean (a Table-2 row):")
+    print(render_metric_rows([report.mean_row()]))
+
+    # The Figure-4a view: how repeatable are inter-arrival times?
+    print(render_histogram(report.pairs[0].iat_hist,
+                           title="IAT deltas, run B vs run A:"))
+
+
+if __name__ == "__main__":
+    main()

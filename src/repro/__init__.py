@@ -1,0 +1,85 @@
+"""repro — reproduction of "Network Replay and Consistency Across Testbeds".
+
+The package reproduces, in pure scientific Python, the SC Workshops '25
+Choir paper: the Section-3 consistency metrics (``U``, ``O``, ``L``, ``I``
+and the compound score ``κ``), a faithful model of the Choir DPDK
+record/replay middlebox, the traffic-generation and testbed substrates the
+evaluation depends on, and drivers that regenerate every table and figure
+of the paper's evaluation.
+
+Quickstart::
+
+    import repro
+
+    env = repro.testbeds.local_single_replayer()
+    trials = repro.experiments.run_trials(env, n_runs=5, seed=7)
+    report = repro.compare_series(trials, environment=env.name)
+    print(report.mean_row())
+
+See ``README.md`` for the architecture overview and ``EXPERIMENTS.md`` for
+the paper-vs-measured record.
+"""
+
+from . import core
+from .core import (
+    DeltaHistogram,
+    KappaScaling,
+    MetricVector,
+    PairReport,
+    RunSeriesReport,
+    SymlogBins,
+    Trial,
+    compare_series,
+    compare_trials,
+    iat_variation,
+    kappa_from_vector,
+    latency_variation,
+    ordering_variation,
+    uniqueness_variation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "Trial",
+    "MetricVector",
+    "KappaScaling",
+    "SymlogBins",
+    "DeltaHistogram",
+    "PairReport",
+    "RunSeriesReport",
+    "compare_trials",
+    "compare_series",
+    "uniqueness_variation",
+    "ordering_variation",
+    "latency_variation",
+    "iat_variation",
+    "kappa_from_vector",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    """Lazily expose heavy subpackages (net, timing, replay, ...).
+
+    Keeps ``import repro`` light while letting ``repro.testbeds`` etc.
+    resolve on first touch.
+    """
+    lazy = {
+        "net",
+        "timing",
+        "replay",
+        "generators",
+        "testbeds",
+        "analysis",
+        "experiments",
+        "viz",
+    }
+    if name in lazy:
+        import importlib
+
+        module = importlib.import_module(f".{name}", __name__)
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

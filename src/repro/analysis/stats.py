@@ -1,0 +1,106 @@
+"""Statistical utilities for consistency studies.
+
+The paper reports 4-run means per environment; a reproduction should also
+quantify how *stable* those means are — across runs (bootstrap intervals)
+and across the whole record/replay realization (seed sweeps).  These
+utilities back the seed-variance benchmark and are available to users
+evaluating their own environments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.report import compare_series
+from ..testbeds.base import Testbed
+from ..testbeds.profiles import EnvironmentProfile
+
+__all__ = ["bootstrap_ci", "SeedSweepResult", "seed_sweep"]
+
+
+def bootstrap_ci(
+    values,
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float, float]:
+    """Percentile-bootstrap CI of the mean: ``(low, mean, high)``.
+
+    Suitable for the tiny per-environment samples here (4 repeat runs);
+    with n < 3 the interval degenerates to the sample range.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    if v.size == 0:
+        raise ValueError("need at least one value")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    mean = float(v.mean())
+    if v.size < 3:
+        return float(v.min()), mean, float(v.max())
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, v.size, size=(n_resamples, v.size))
+    means = v[idx].mean(axis=1)
+    alpha = (1 - confidence) / 2
+    lo, hi = np.quantile(means, [alpha, 1 - alpha])
+    return float(lo), mean, float(hi)
+
+
+@dataclass(frozen=True)
+class SeedSweepResult:
+    """Per-seed environment means, plus cross-seed dispersion."""
+
+    environment: str
+    seeds: tuple[int, ...]
+    kappa: np.ndarray
+    i_values: np.ndarray
+    l_values: np.ndarray
+
+    def kappa_spread(self) -> float:
+        """Max − min κ across seeds: realization-to-realization wobble."""
+        return float(self.kappa.max() - self.kappa.min())
+
+    def row(self) -> dict:
+        lo, mean, hi = bootstrap_ci(self.kappa)
+        return {
+            "environment": self.environment,
+            "n_seeds": len(self.seeds),
+            "kappa_mean": mean,
+            "kappa_ci_low": lo,
+            "kappa_ci_high": hi,
+            "kappa_spread": self.kappa_spread(),
+            "I_mean": float(self.i_values.mean()),
+        }
+
+
+def seed_sweep(
+    profile: EnvironmentProfile,
+    seeds,
+    *,
+    n_runs: int = 3,
+) -> SeedSweepResult:
+    """Rerun an environment under several seeds; collect the mean metrics.
+
+    Each seed is an entirely fresh realization — new recording, new
+    per-run imperfections — so the dispersion measures how much the
+    *environment characterization itself* (not just a run pair) varies.
+    """
+    seeds = tuple(int(s) for s in seeds)
+    if not seeds:
+        raise ValueError("need at least one seed")
+    kappas, i_vals, l_vals = [], [], []
+    for seed in seeds:
+        trials = Testbed(profile, seed=seed).run_series(n_runs)
+        rep = compare_series(trials, environment=profile.name)
+        kappas.append(rep.values("kappa").mean())
+        i_vals.append(rep.values("I").mean())
+        l_vals.append(rep.values("L").mean())
+    return SeedSweepResult(
+        environment=profile.name,
+        seeds=seeds,
+        kappa=np.asarray(kappas),
+        i_values=np.asarray(i_vals),
+        l_values=np.asarray(l_vals),
+    )

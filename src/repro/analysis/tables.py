@@ -1,0 +1,58 @@
+"""Renderers for the paper's two tables.
+
+* **Table 1** — distances packets were moved in the edit scripts of the
+  local dual-replayer runs: one row per repeat run with mean (σ),
+  absolute mean (σ), min and max of the signed move distances.
+* **Table 2** — the mean ``U, O, I, L, κ`` of every environment, in the
+  order the paper presents them.
+"""
+
+from __future__ import annotations
+
+from ..core.report import RunSeriesReport
+from .textplot import render_metric_rows
+
+__all__ = ["table1_rows", "render_table1", "table2_rows", "render_table2"]
+
+
+def table1_rows(report: RunSeriesReport) -> list[dict]:
+    """Table 1 rows from a dual-replayer series report."""
+    rows = []
+    for p in report.pairs:
+        ms = p.move_stats
+        rows.append(
+            {
+                "Run": p.run_label,
+                "Mean": ms.mean,
+                "(sigma)": ms.std,
+                "Abs. Mean": ms.abs_mean,
+                "(abs sigma)": ms.abs_std,
+                "Min": ms.min,
+                "Max": ms.max,
+                "n_moved": ms.n_moved,
+            }
+        )
+    return rows
+
+
+def render_table1(report: RunSeriesReport) -> str:
+    """Table 1 as fixed-width text."""
+    header = (
+        "Table 1: distances packets were moved in the edit scripts\n"
+        f"transforming each run to run {report.baseline_label} "
+        f"({report.environment}).\n"
+    )
+    return header + render_metric_rows(table1_rows(report))
+
+
+def table2_rows(reports: list[RunSeriesReport]) -> list[dict]:
+    """Table 2 rows: one mean-metrics row per environment report."""
+    return [r.mean_row() for r in reports]
+
+
+def render_table2(reports: list[RunSeriesReport]) -> str:
+    """Table 2 as fixed-width text, environments in presentation order."""
+    header = "Table 2: mean Section-3 metrics for each environment.\n"
+    return header + render_metric_rows(
+        table2_rows(reports), columns=["environment", "U", "O", "I", "L", "kappa"]
+    )

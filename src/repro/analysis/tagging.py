@@ -1,0 +1,80 @@
+"""The 16-byte trailer tags (Section 6) and their int64 packing.
+
+The paper stamps each replayed packet with a unique 16-byte trailer that
+encodes the emitting replay node; the analysis then uses the tag as the
+packet's identity ("we stamped each packet with a unique trailer and used
+that to define a packet", Section 3).
+
+The simulator carries tags as int64 (see
+:func:`repro.net.pktarray.make_tags`): replayer id in bits 48+, sequence
+number in bits 0-47.  This module converts between that packed form, its
+components, and the wire-format 16-byte trailer (packed id+sequence plus
+a checksum over the pair — corrupted trailers must not alias another
+packet, they must fail to parse, which is how a corrupted packet becomes
+"missing" for the U metric).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+__all__ = [
+    "split_tags",
+    "join_tags",
+    "tag_to_trailer",
+    "trailer_to_tag",
+    "TrailerError",
+]
+
+_SEQ_BITS = 48
+_SEQ_MASK = (1 << _SEQ_BITS) - 1
+_TRAILER = struct.Struct("<qII")
+assert _TRAILER.size == 16
+
+
+class TrailerError(ValueError):
+    """Raised when a wire trailer fails validation (corrupted packet)."""
+
+
+def split_tags(tags: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(replayer ids, sequence numbers) of packed tags, vectorized."""
+    tags = np.asarray(tags, dtype=np.int64)
+    return (tags >> _SEQ_BITS).astype(np.int64), (tags & _SEQ_MASK).astype(np.int64)
+
+
+def join_tags(replayer_ids: np.ndarray, sequences: np.ndarray) -> np.ndarray:
+    """Pack component arrays back into int64 tags."""
+    rid = np.asarray(replayer_ids, dtype=np.int64)
+    seq = np.asarray(sequences, dtype=np.int64)
+    if np.any(rid < 0) or np.any(rid >= 1 << 15):
+        raise ValueError("replayer ids must fit in 15 bits")
+    if np.any(seq < 0) or np.any(seq > _SEQ_MASK):
+        raise ValueError("sequence numbers must fit in 48 bits")
+    return (rid << _SEQ_BITS) | seq
+
+
+def tag_to_trailer(tag: int) -> bytes:
+    """The 16-byte wire trailer for one packed tag."""
+    tag = int(tag)
+    body = struct.pack("<q", tag)
+    crc = zlib.crc32(body)
+    return _TRAILER.pack(tag, crc, 0xC401125)
+
+
+def trailer_to_tag(trailer: bytes) -> int:
+    """Parse and validate a wire trailer back to its packed tag.
+
+    Raises :class:`TrailerError` on length, checksum, or marker mismatch —
+    the caller counts such packets as missing/corrupted (metric ``U``).
+    """
+    if len(trailer) != 16:
+        raise TrailerError(f"trailer must be 16 bytes, got {len(trailer)}")
+    tag, crc, marker = _TRAILER.unpack(trailer)
+    if marker != 0xC401125:
+        raise TrailerError("trailer marker mismatch")
+    if zlib.crc32(struct.pack("<q", tag)) != crc:
+        raise TrailerError("trailer checksum mismatch (corrupted packet)")
+    return tag

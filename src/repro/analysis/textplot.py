@@ -1,0 +1,117 @@
+"""ASCII rendering of the paper's histogram figures.
+
+The benchmark harness prints each figure's data series; this module also
+renders them as terminal histograms so a human can eyeball the shapes the
+paper shows (the ±10 ns core, the symmetric outlier lobes, the longer
+tails of the parallel-replayer and FABRIC runs) without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.histograms import DeltaHistogram
+
+__all__ = ["render_histogram", "render_series_table", "format_si"]
+
+
+def format_si(value_ns: float) -> str:
+    """Human-scale formatting of a nanosecond quantity (signed)."""
+    if value_ns == 0:
+        return "0"
+    sign = "-" if value_ns < 0 else ""
+    v = abs(value_ns)
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if v >= scale:
+            return f"{sign}{v / scale:.3g}{unit}"
+    return f"{sign}{v:.3g}ns"
+
+
+def render_histogram(
+    hist: DeltaHistogram,
+    *,
+    width: int = 50,
+    log_y: bool = True,
+    title: str = "",
+) -> str:
+    """Render one delta histogram as rows of bars (non-empty bins only).
+
+    ``log_y`` compresses the y-axis logarithmically, matching how the
+    paper's figures make sub-percent lobes visible next to the dominant
+    central bin.
+    """
+    rows = hist.nonzero_rows()
+    if not rows:
+        return f"{title or hist.label}: (no packets)\n"
+    pcts = np.array([p for _, p in rows])
+    if log_y:
+        floor = max(pcts[pcts > 0].min() / 10.0, 1e-7)
+        heights = np.log10(pcts / floor)
+        heights = heights / heights.max() if heights.max() > 0 else heights
+    else:
+        heights = pcts / pcts.max()
+    out = []
+    if title:
+        out.append(title)
+    for (center, pct), h in zip(rows, heights):
+        bar = "#" * max(1, int(round(h * width)))
+        out.append(f"{format_si(center):>9s} | {bar:<{width}s} {pct:7.3f}%")
+    return "\n".join(out) + "\n"
+
+
+def render_series_table(
+    histograms: list[DeltaHistogram],
+    *,
+    min_pct: float = 0.0,
+) -> str:
+    """Side-by-side percent columns for several runs over shared bins.
+
+    This is the figure's underlying data: one row per bin (skipping rows
+    where every run is ≤ ``min_pct``), one column per run.
+    """
+    if not histograms:
+        return "(no runs)\n"
+    bins = histograms[0].bins
+    for h in histograms[1:]:
+        if h.bins != bins:
+            raise ValueError("histograms must share bin edges to tabulate")
+    centers = bins.centers()
+    pcts = np.stack([h.percent for h in histograms])
+    header = f"{'delta':>10s} " + " ".join(f"{h.label or '?':>9s}" for h in histograms)
+    lines = [header]
+    for i, c in enumerate(centers):
+        col = pcts[:, i]
+        if np.all(col <= min_pct):
+            continue
+        cells = " ".join(f"{v:9.4f}" for v in col)
+        lines.append(f"{format_si(float(c)):>10s} {cells}")
+    return "\n".join(lines) + "\n"
+
+
+def render_metric_rows(rows: list[dict], columns: list[str] | None = None) -> str:
+    """Fixed-width table of metric-row dicts (Table 1/2 style printing)."""
+    if not rows:
+        return "(no rows)\n"
+    columns = columns or list(rows[0].keys())
+    widths = {}
+    rendered = []
+    for row in rows:
+        cells = {}
+        for c in columns:
+            v = row.get(c, "")
+            if isinstance(v, float):
+                cells[c] = f"{v:.4g}" if (abs(v) >= 1e-3 or v == 0) else f"{v:.3e}"
+            else:
+                cells[c] = str(v)
+        rendered.append(cells)
+    for c in columns:
+        widths[c] = max(len(c), *(len(r[c]) for r in rendered))
+    header = "  ".join(f"{c:>{widths[c]}s}" for c in columns)
+    lines = [header, "-" * len(header)]
+    for r in rendered:
+        lines.append("  ".join(f"{r[c]:>{widths[c]}s}" for c in columns))
+    return "\n".join(lines) + "\n"
+
+
+# Re-export for discoverability alongside the renderers.
+__all__.append("render_metric_rows")

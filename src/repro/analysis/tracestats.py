@@ -1,0 +1,106 @@
+"""Descriptive statistics of a single capture.
+
+Before comparing trials, an operator wants to know what one capture
+*looks like*: achieved rate, gap distribution, burst structure, per-
+replayer composition.  These are the numbers the paper quotes when
+describing its workloads ("1,055,648 packets captured from 0.3 seconds
+... 3,518,826 packets per second") and the burst phenomenology its
+Section 8.2 discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.trial import Trial
+from .tagging import split_tags
+
+__all__ = ["TraceStats", "trace_stats", "detect_bursts"]
+
+
+def detect_bursts(trial: Trial, gap_threshold_ns: float) -> np.ndarray:
+    """Burst ids from arrival gaps: a new burst starts at every gap above
+    the threshold.
+
+    The inverse view of the replayer's burstification: on the wire, a
+    Choir burst appears as back-to-back frames separated by larger
+    inter-burst gaps, so thresholding the gaps recovers the structure.
+    """
+    if gap_threshold_ns <= 0:
+        raise ValueError("gap_threshold_ns must be positive")
+    if trial.is_empty:
+        return np.empty(0, dtype=np.int64)
+    gaps = trial.iats_ns()
+    new_burst = gaps > gap_threshold_ns
+    new_burst[0] = False
+    return np.cumsum(new_burst).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of one capture."""
+
+    n_packets: int
+    duration_ns: float
+    pps: float
+    iat_mean_ns: float
+    iat_p50_ns: float
+    iat_p99_ns: float
+    iat_max_ns: float
+    n_replayers: int
+    per_replayer_counts: dict[int, int]
+    n_bursts: int
+    mean_burst_size: float
+
+    def rows(self) -> dict:
+        """Flat dict for rendering."""
+        return {
+            "packets": self.n_packets,
+            "duration_ms": self.duration_ns / 1e6,
+            "Mpps": self.pps / 1e6,
+            "iat_mean_ns": self.iat_mean_ns,
+            "iat_p50_ns": self.iat_p50_ns,
+            "iat_p99_ns": self.iat_p99_ns,
+            "replayers": self.n_replayers,
+            "bursts": self.n_bursts,
+            "mean_burst": self.mean_burst_size,
+        }
+
+
+def trace_stats(trial: Trial, *, burst_gap_ns: float | None = None) -> TraceStats:
+    """Compute the summary for one capture.
+
+    ``burst_gap_ns`` sets the burst-detection threshold; by default it is
+    three times the median gap (robust to the rate without tuning).
+    """
+    n = len(trial)
+    if n == 0:
+        return TraceStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0, {}, 0, 0.0)
+    gaps = trial.iats_ns()[1:] if n > 1 else np.empty(0)
+    duration = trial.duration_ns
+    pps = (n - 1) / duration * 1e9 if duration > 0 else 0.0
+
+    rids, _ = split_tags(trial.tags)
+    uniq, counts = np.unique(rids, return_counts=True)
+
+    if burst_gap_ns is None:
+        med = float(np.median(gaps)) if gaps.size else 1.0
+        burst_gap_ns = max(3.0 * med, 1.0)
+    bursts = detect_bursts(trial, burst_gap_ns)
+    n_bursts = int(bursts[-1]) + 1 if bursts.size else 0
+
+    return TraceStats(
+        n_packets=n,
+        duration_ns=duration,
+        pps=pps,
+        iat_mean_ns=float(gaps.mean()) if gaps.size else 0.0,
+        iat_p50_ns=float(np.percentile(gaps, 50)) if gaps.size else 0.0,
+        iat_p99_ns=float(np.percentile(gaps, 99)) if gaps.size else 0.0,
+        iat_max_ns=float(gaps.max()) if gaps.size else 0.0,
+        n_replayers=int(uniq.shape[0]),
+        per_replayer_counts={int(r): int(c) for r, c in zip(uniq, counts)},
+        n_bursts=n_bursts,
+        mean_burst_size=n / n_bursts if n_bursts else 0.0,
+    )

@@ -1,0 +1,72 @@
+"""Section 8.2's metric-balance refinement, made concrete.
+
+The paper observes that κ's linear combination lets I "somewhat overpower"
+L ("L varies within 1e-5 while I varies within 1e-1") and leaves
+weighting/non-linear scaling to future work.  This module implements one
+principled instance: **exponent balancing**.  Given the observed dynamic
+range of each component across a set of environments, choose per-component
+exponents so every component's observed maximum maps to a common target
+value.  Because each exponent acts on a [0, 1] quantity, the rescaled
+components stay in [0, 1] and κ keeps its range — unlike naive weight
+inflation, which would break the normalization.
+
+``balanced_scaling`` returns a :class:`~repro.core.kappa.KappaScaling`
+directly usable with ``MetricVector.kappa(scaling)`` /
+``PairReport.kappa_scaled(scaling)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.kappa import KappaScaling
+from ..core.report import RunSeriesReport
+
+__all__ = ["component_ranges", "balanced_scaling"]
+
+_COMPONENTS = ("U", "O", "L", "I")
+
+
+def component_ranges(reports: list[RunSeriesReport]) -> dict[str, float]:
+    """Observed maximum of each metric component across environments."""
+    if not reports:
+        raise ValueError("need at least one report")
+    out = {}
+    for c in _COMPONENTS:
+        out[c] = float(max(r.values(c).max() for r in reports))
+    return out
+
+
+def _exponent_for(observed_max: float, target: float) -> float:
+    """Exponent mapping ``observed_max`` to ``target`` on [0, 1].
+
+    ``x ** e`` with ``e = ln(target)/ln(max)``.  Degenerate inputs (max of
+    0, or already ≥ target) keep the identity exponent — a component that
+    never fires shouldn't be amplified into noise.
+    """
+    if observed_max <= 0.0 or observed_max >= 1.0:
+        return 1.0
+    if observed_max >= target:
+        return 1.0
+    return math.log(target) / math.log(observed_max)
+
+
+def balanced_scaling(
+    reports: list[RunSeriesReport], *, target: float = 0.5
+) -> KappaScaling:
+    """A KappaScaling whose exponents equalize component dynamic ranges.
+
+    After balancing, the environment with the worst observed value of any
+    component scores that component at ``target``; components therefore
+    influence κ comparably instead of the raw-magnitude ordering where I
+    dwarfs L by four decades.
+    """
+    if not 0 < target < 1:
+        raise ValueError("target must be in (0, 1)")
+    ranges = component_ranges(reports)
+    return KappaScaling(
+        u_exponent=_exponent_for(ranges["U"], target),
+        o_exponent=_exponent_for(ranges["O"], target),
+        l_exponent=_exponent_for(ranges["L"], target),
+        i_exponent=_exponent_for(ranges["I"], target),
+    )

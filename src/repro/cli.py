@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors the artifact's workflow from a shell:
+
+* ``repro scenarios`` — list the nine registered evaluation environments;
+* ``repro simulate <scenario>`` — run a trial series, print the report,
+  optionally save captures;
+* ``repro analyze <dir>`` — Section-3 analysis of saved captures;
+* ``repro table1`` / ``repro table2`` — regenerate the paper's tables;
+* ``repro figure <id>`` — regenerate one figure's series (e.g. ``4a``).
+
+All commands honor ``--scale`` (capture duration relative to the paper's
+0.3 s; default from ``REPRO_SCALE`` or 0.25) and print plain text so
+output can be redirected into experiment logs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests and docs generation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for 'Network Replay and Consistency "
+        "Across Testbeds' (Choir).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("scenarios", help="list registered evaluation environments")
+
+    p = sub.add_parser("simulate", help="run a scenario's trial series")
+    p.add_argument("scenario", nargs="?", default=None,
+                   help="scenario key (see `repro scenarios`)")
+    p.add_argument("--profile", default=None, metavar="JSON",
+                   help="run a custom environment from a profile JSON instead")
+    p.add_argument("--runs", type=int, default=5, help="number of runs (default 5)")
+    p.add_argument("--seed", type=int, default=None, help="override the scenario seed")
+    p.add_argument("--scale", type=float, default=None, help="duration scale (default REPRO_SCALE)")
+    p.add_argument("-o", "--output", default=None, help="directory to save captures into")
+    p.add_argument("--histograms", action="store_true", help="include figure histograms")
+
+    p = sub.add_parser("analyze", help="analyze a directory of saved captures")
+    p.add_argument("directory")
+    p.add_argument("--histograms", action="store_true")
+
+    p = sub.add_parser("table1", help="regenerate Table 1 (edit-script distances)")
+    p.add_argument("--scale", type=float, default=None)
+
+    p = sub.add_parser("table2", help="regenerate Table 2 (all environments)")
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--no-paper", action="store_true", help="omit the paper's columns")
+
+    p = sub.add_parser("validate", help="grade the reproduction against the paper's Table 2")
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--kappa-tol", type=float, default=0.08)
+
+    p = sub.add_parser("report", help="regenerate the full evaluation into a directory")
+    p.add_argument("-o", "--output", default="report", help="output directory")
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--no-svg", action="store_true", help="skip SVG figure rendering")
+
+    p = sub.add_parser("figure", help="regenerate one figure's series")
+    p.add_argument("figure_id", help="4a, 4b, 5, 6a..10b")
+    p.add_argument("--scale", type=float, default=None)
+    p.add_argument("--svg", default=None, metavar="PATH",
+                   help="additionally write the figure as an SVG file")
+
+    return parser
+
+
+def _cmd_scenarios(_args) -> int:
+    from .experiments import SCENARIOS
+
+    for sc in SCENARIOS:
+        figs = ",".join(sc.figures) if sc.figures else "-"
+        print(f"{sc.key:28s} figs {figs:10s} {sc.description}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .analysis import render_report, save_series
+    from .core import compare_series
+    from .experiments import scenario
+    from .testbeds import Testbed
+
+    if (args.scenario is None) == (args.profile is None):
+        print("simulate: give exactly one of <scenario> or --profile", file=sys.stderr)
+        return 2
+    if args.profile:
+        from .testbeds import load_profile
+
+        profile = load_profile(args.profile)
+        if args.scale is not None:
+            profile = profile.at_duration(profile.duration_ns * args.scale)
+        seed = 0 if args.seed is None else args.seed
+    else:
+        sc = scenario(args.scenario)
+        profile = sc.profile(args.scale)
+        seed = sc.seed if args.seed is None else args.seed
+    print(f"simulating {profile.name} ({profile.describe()}) seed={seed}", file=sys.stderr)
+    trials = Testbed(profile, seed=seed).run_series(args.runs)
+    if args.output:
+        paths = save_series(trials, args.output)
+        print(f"saved {len(paths)} captures under {args.output}", file=sys.stderr)
+    report = compare_series(trials, environment=profile.name)
+    print(render_report(report, histograms=args.histograms))
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from .analysis import analyze_directory, render_report
+
+    report = analyze_directory(args.directory)
+    print(render_report(report, histograms=args.histograms))
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from .experiments import render_table1_text
+
+    kwargs = {} if args.scale is None else {"duration_scale": args.scale}
+    print(render_table1_text(**kwargs))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from .experiments import render_table2_text
+
+    kwargs = {} if args.scale is None else {"duration_scale": args.scale}
+    print(render_table2_text(with_paper=not args.no_paper, **kwargs))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from .experiments import ALL_FIGURES
+
+    try:
+        gen = ALL_FIGURES[args.figure_id]
+    except KeyError:
+        print(
+            f"unknown figure {args.figure_id!r}; available: "
+            f"{', '.join(sorted(ALL_FIGURES))}",
+            file=sys.stderr,
+        )
+        return 2
+    kwargs = {} if args.scale is None else {"duration_scale": args.scale}
+    series = gen(**kwargs)
+    print(series.render())
+    if args.svg:
+        series.to_svg(args.svg)
+        print(f"wrote {args.svg}", file=sys.stderr)
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .experiments import validate_against_paper
+
+    kwargs = {} if args.scale is None else {"duration_scale": args.scale}
+    result = validate_against_paper(kappa_abs_tol=args.kappa_tol, **kwargs)
+    print(result.render())
+    return 0 if result.passed else 1
+
+
+def _cmd_report(args) -> int:
+    from pathlib import Path
+
+    from .experiments import (
+        ALL_FIGURES,
+        SCENARIOS,
+        render_table1_text,
+        render_table2_text,
+        run_scenario,
+    )
+    from .viz import kappa_bars
+
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    kwargs = {} if args.scale is None else {"duration_scale": args.scale}
+
+    print("regenerating Table 2 (all nine environments)...", file=sys.stderr)
+    (out / "table2.txt").write_text(render_table2_text(**kwargs))
+    print("regenerating Table 1...", file=sys.stderr)
+    (out / "table1.txt").write_text(render_table1_text(**kwargs))
+
+    rows = []
+    for sc in SCENARIOS:
+        rep = run_scenario(sc.key, **kwargs)
+        row = rep.mean_row()
+        row["paper_kappa"] = sc.paper.kappa
+        rows.append(row)
+    if not args.no_svg:
+        kappa_bars(rows, title="kappa per environment (bar: measured, notch: paper)").save(
+            out / "table2_kappa.svg"
+        )
+
+    for fid, gen in ALL_FIGURES.items():
+        print(f"regenerating Figure {fid}...", file=sys.stderr)
+        series = gen(**kwargs)
+        (out / f"fig{fid}.txt").write_text(series.render())
+        if not args.no_svg:
+            series.to_svg(out / f"fig{fid}.svg")
+
+    print(f"report written to {out}/", file=sys.stderr)
+    print(render_table2_text(**kwargs))
+    return 0
+
+
+_COMMANDS = {
+    "scenarios": _cmd_scenarios,
+    "simulate": _cmd_simulate,
+    "analyze": _cmd_analyze,
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "figure": _cmd_figure,
+    "report": _cmd_report,
+    "validate": _cmd_validate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0

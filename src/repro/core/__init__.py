@@ -1,0 +1,81 @@
+"""Section-3 consistency metrics — the paper's primary contribution.
+
+Public surface:
+
+* :class:`~repro.core.trial.Trial` — a received packet sequence.
+* :func:`~repro.core.uniqueness.uniqueness_variation` — ``U`` (Eq. 1).
+* :func:`~repro.core.ordering.ordering_variation` — ``O`` (Eq. 2).
+* :func:`~repro.core.latency.latency_variation` — ``L`` (Eq. 3).
+* :func:`~repro.core.iat.iat_variation` — ``I`` (Eq. 4).
+* :class:`~repro.core.kappa.MetricVector` / ``κ`` — Eq. 5.
+* :func:`~repro.core.report.compare_trials` /
+  :func:`~repro.core.report.compare_series` — one-call analysis drivers.
+"""
+
+from .histograms import DeltaHistogram, SymlogBins, pct_within
+from .iat import iat_deltas_ns, iat_variation, max_iat_construction
+from .kappa import KappaScaling, MetricVector, kappa_from_vector
+from .kendall import count_inversions, kendall_tau_distance
+from .latency import latency_deltas_ns, latency_variation, max_latency_construction
+from .matching import Matching, match_trials, occurrence_ranks
+from .ordering import (
+    EditScript,
+    MoveDistanceStats,
+    edit_script,
+    longest_increasing_subsequence,
+    move_distance_stats,
+    naive_lcs_length,
+    ordering_variation,
+)
+from .gapreplay import (
+    cumulative_latency_ns,
+    iat_deviation_ns,
+    mean_absolute_iat_delta_ns,
+    mean_absolute_latency_delta_ns,
+)
+from .reorder import ReorderBySpacing, reorder_probability_by_spacing
+from .report import PairReport, RunSeriesReport, compare_series, compare_trials
+from .trial import Trial
+from .windows import WindowedDeviation, windowed_deviation
+from .uniqueness import uniqueness_variation
+
+__all__ = [
+    "Trial",
+    "Matching",
+    "match_trials",
+    "occurrence_ranks",
+    "uniqueness_variation",
+    "ordering_variation",
+    "longest_increasing_subsequence",
+    "naive_lcs_length",
+    "EditScript",
+    "edit_script",
+    "MoveDistanceStats",
+    "move_distance_stats",
+    "latency_variation",
+    "latency_deltas_ns",
+    "max_latency_construction",
+    "iat_variation",
+    "iat_deltas_ns",
+    "max_iat_construction",
+    "MetricVector",
+    "KappaScaling",
+    "kappa_from_vector",
+    "count_inversions",
+    "kendall_tau_distance",
+    "SymlogBins",
+    "DeltaHistogram",
+    "pct_within",
+    "cumulative_latency_ns",
+    "iat_deviation_ns",
+    "mean_absolute_latency_delta_ns",
+    "mean_absolute_iat_delta_ns",
+    "ReorderBySpacing",
+    "reorder_probability_by_spacing",
+    "PairReport",
+    "RunSeriesReport",
+    "compare_trials",
+    "compare_series",
+    "WindowedDeviation",
+    "windowed_deviation",
+]

@@ -1,0 +1,61 @@
+"""GapReplay's raw (unnormalized) deviation metrics.
+
+Section 8.2 credits GapReplay (Yu et al., ICC '23) with the numerators of
+Equations 3 and 4 — "cumulative latency" and "IAT deviation" — and frames
+the paper's contribution as the proven normalizers.  The raw forms are
+still useful (they carry physical units, nanoseconds, where the
+normalized forms are ratios), so they are exposed here both for lineage
+fidelity and for users who want absolute budgets.
+
+Both functions share the matching/packet conventions of the normalized
+metrics and satisfy, by construction:
+
+* ``latency_variation(a, b) == cumulative_latency_ns(a, b) / (n · span)``
+* ``iat_variation(a, b) == iat_deviation_ns(a, b) / (dur_A + dur_B)``
+
+which the test suite pins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .iat import iat_deltas_ns
+from .latency import latency_deltas_ns
+from .matching import Matching, match_trials
+from .trial import Trial
+
+__all__ = [
+    "cumulative_latency_ns",
+    "iat_deviation_ns",
+    "mean_absolute_latency_delta_ns",
+    "mean_absolute_iat_delta_ns",
+]
+
+
+def cumulative_latency_ns(a: Trial, b: Trial, matching: Matching | None = None) -> float:
+    """GapReplay's cumulative latency: ``Σ |l_Ai − l_Bi|`` in nanoseconds."""
+    deltas = latency_deltas_ns(a, b, matching=matching)
+    return float(np.abs(deltas).sum())
+
+
+def iat_deviation_ns(a: Trial, b: Trial, matching: Matching | None = None) -> float:
+    """GapReplay's IAT deviation: ``Σ |g_Ai − g_Bi|`` in nanoseconds."""
+    deltas = iat_deltas_ns(a, b, matching=matching)
+    return float(np.abs(deltas).sum())
+
+
+def mean_absolute_latency_delta_ns(a: Trial, b: Trial) -> float:
+    """Per-packet mean |Δl| — the physically interpretable latency figure."""
+    m = match_trials(a, b)
+    if m.n_common == 0:
+        return 0.0
+    return cumulative_latency_ns(a, b, matching=m) / m.n_common
+
+
+def mean_absolute_iat_delta_ns(a: Trial, b: Trial) -> float:
+    """Per-packet mean |Δg| — the physically interpretable IAT figure."""
+    m = match_trials(a, b)
+    if m.n_common == 0:
+        return 0.0
+    return iat_deviation_ns(a, b, matching=m) / m.n_common

@@ -1,0 +1,147 @@
+"""Packet matching between two trials (the ``A ∩ B`` of Section 3).
+
+Two packets are "the same" when they are identical in all regions the
+evaluator determines define a packet — here, the per-packet tag.  Tags may
+repeat (identical payloads); following the paper, repeated tags are
+disambiguated by *occurrence rank*: the first packet with a given tag in a
+trial matches the first packet with that tag in the other trial, the second
+the second, and so on.  This makes every trial a sequence of unique
+``(tag, occurrence)`` keys, which is what lets the ordering metric treat
+trials as permutations.
+
+Everything here is vectorized: occurrence ranks come from a stable argsort
+and a grouped ``arange``, and the intersection is a single
+:func:`numpy.intersect1d` over packed 64-bit keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .trial import Trial
+
+__all__ = ["Matching", "occurrence_ranks", "match_trials"]
+
+
+def occurrence_ranks(tags: np.ndarray) -> np.ndarray:
+    """Occurrence rank of each element among equal values, in input order.
+
+    ``occurrence_ranks([7, 3, 7, 7, 3]) == [0, 0, 1, 2, 1]``.
+
+    Runs in O(n log n) with no Python-level loop.
+    """
+    tags = np.asarray(tags)
+    n = tags.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.argsort(tags, kind="stable")
+    sorted_tags = tags[order]
+    new_group = np.empty(n, dtype=bool)
+    new_group[0] = True
+    np.not_equal(sorted_tags[1:], sorted_tags[:-1], out=new_group[1:])
+    group_start = np.flatnonzero(new_group)
+    # Position within the sorted array minus the start of the packet's
+    # group gives the rank; stable sort preserves input order within groups.
+    counts = np.diff(np.append(group_start, n))
+    ranks_sorted = np.arange(n, dtype=np.int64) - np.repeat(group_start, counts)
+    ranks = np.empty(n, dtype=np.int64)
+    ranks[order] = ranks_sorted
+    return ranks
+
+
+@dataclass(frozen=True)
+class Matching:
+    """The aligned common packets of two trials.
+
+    ``idx_a[i]`` and ``idx_b[i]`` are the positions (in arrival order) of
+    the *same* packet ``p_i`` in trials A and B.  Rows are sorted by
+    ``idx_a``, i.e. common packets are listed in A's arrival order.
+
+    Attributes
+    ----------
+    idx_a, idx_b:
+        intp arrays of equal length ``n_common``.
+    len_a, len_b:
+        The full trial sizes ``|A|`` and ``|B|``.
+    """
+
+    idx_a: np.ndarray
+    idx_b: np.ndarray
+    len_a: int
+    len_b: int
+
+    @property
+    def n_common(self) -> int:
+        """``|A ∩ B|``."""
+        return int(self.idx_a.shape[0])
+
+    @property
+    def is_permutation(self) -> bool:
+        """True when A and B contain exactly the same packets."""
+        return self.n_common == self.len_a == self.len_b
+
+    def b_order(self) -> tuple[np.ndarray, np.ndarray]:
+        """The aligned index pairs re-sorted by position in B."""
+        order = np.argsort(self.idx_b, kind="stable")
+        return self.idx_a[order], self.idx_b[order]
+
+    def a_ranks_in_b_order(self) -> np.ndarray:
+        """A-side common-packet ranks listed in B's arrival order.
+
+        This is the integer sequence whose Longest Increasing Subsequence
+        is the LCS of the two trials (Section 3, citing Schensted): rows of
+        the matching are already ranked 0..n_common-1 by A position, so
+        re-listing those ranks in B order yields a permutation of
+        ``0..n_common-1``.
+        """
+        # Rows are sorted by idx_a, so the row index *is* the A-side rank;
+        # listing row indices in B order therefore lists A ranks in B order.
+        order_b = np.argsort(self.idx_b, kind="stable")
+        return order_b.astype(np.int64, copy=False)
+
+
+def match_trials(a: Trial, b: Trial) -> Matching:
+    """Compute the aligned common packets of two trials.
+
+    Packets are keyed by ``(tag, occurrence rank)``.  The result lists
+    common packets in A's arrival order.
+
+    Raises
+    ------
+    OverflowError
+        If the packed 64-bit key space would overflow (requires more than
+        ~3e9 distinct tags × occurrences, far beyond any realistic trial).
+    """
+    na, nb = len(a), len(b)
+    if na == 0 or nb == 0:
+        empty = np.empty(0, dtype=np.intp)
+        return Matching(empty, empty, na, nb)
+
+    all_tags = np.concatenate([a.tags, b.tags])
+    _, inverse = np.unique(all_tags, return_inverse=True)
+    ids_a = inverse[:na].astype(np.int64, copy=False)
+    ids_b = inverse[na:].astype(np.int64, copy=False)
+
+    occ_a = occurrence_ranks(ids_a)
+    occ_b = occurrence_ranks(ids_b)
+
+    max_occ = int(max(occ_a.max(initial=0), occ_b.max(initial=0))) + 1
+    n_ids = int(inverse.max()) + 1
+    if n_ids * max_occ >= np.iinfo(np.int64).max:
+        raise OverflowError(
+            f"key space {n_ids} ids x {max_occ} occurrences overflows int64"
+        )
+
+    key_a = ids_a * max_occ + occ_a
+    key_b = ids_b * max_occ + occ_b
+    _, ia, ib = np.intersect1d(key_a, key_b, assume_unique=True, return_indices=True)
+
+    order = np.argsort(ia, kind="stable")
+    return Matching(
+        ia[order].astype(np.intp, copy=False),
+        ib[order].astype(np.intp, copy=False),
+        na,
+        nb,
+    )

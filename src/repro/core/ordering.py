@@ -1,0 +1,244 @@
+"""The ordering-variation metric ``O`` (Equation 2) and its machinery.
+
+Section 3 defines ``O`` through the minimum edit script transforming trial
+B into trial A.  Because occurrence-tagging makes every packet unique (see
+:mod:`repro.core.matching`), each trial is a permutation of the common
+packets, so:
+
+* the Longest Common Subsequence of A and B equals the Longest Increasing
+  Subsequence of A-side ranks listed in B order (Schensted), computable in
+  ``O(n log n)`` with patience sorting;
+* the minimum edit script keeps the LCS in place and moves every other
+  common packet; the move distance ``d_i`` of a moved packet is the
+  absolute difference between its deletion index (its rank among common
+  packets in B) and its reinsertion index (its rank among common packets
+  in A).
+
+The normalizer is the reversal worst case,
+``sum_{n=0}^{|A∩B|} n = m(m+1)/2``.
+
+Table 1 of the paper reports distributional statistics of the *signed*
+move distances (their minima are negative); :func:`move_distance_stats`
+reproduces those columns with the convention ``signed d = rank_A − rank_B``
+(positive means the packet sits later in A than in B).
+
+When several maximal-length LCSs exist the edit script is not unique; we
+deterministically pick the patience-sorting LIS (predecessor chaining),
+which is a standard canonical choice.  ``O`` computed with swapped
+arguments uses the transposed permutation whose LIS set corresponds
+one-to-one, so the metric is symmetric up to LCS tie-breaking; the test
+suite checks exact symmetry on permutations with unique LCS and bounded
+asymmetry otherwise.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+
+import numpy as np
+
+from .matching import Matching, match_trials
+from .trial import Trial
+
+__all__ = [
+    "longest_increasing_subsequence",
+    "lis_membership",
+    "EditScript",
+    "edit_script",
+    "move_distance_stats",
+    "MoveDistanceStats",
+    "ordering_from_matching",
+    "ordering_variation",
+    "naive_lcs_length",
+]
+
+
+def longest_increasing_subsequence(seq: np.ndarray) -> np.ndarray:
+    """Indices of one longest strictly-increasing subsequence of ``seq``.
+
+    Patience sorting with predecessor chaining: ``O(n log n)`` time,
+    ``O(n)`` space.  Returns indices in increasing order.  For equal-length
+    candidates the algorithm returns the LIS whose members' values are
+    piecewise smallest (the classic tails-array construction).
+    """
+    seq = np.asarray(seq)
+    n = seq.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+    values = seq.tolist()  # Python ints: ~3x faster bisect loop than ndarray
+    tails_vals: list = []  # smallest tail value of an inc. run of each length
+    tails_idx: list[int] = []  # index of that tail element in seq
+    prev = np.full(n, -1, dtype=np.intp)  # predecessor links
+    for i, v in enumerate(values):
+        pos = bisect_left(tails_vals, v)
+        if pos > 0:
+            prev[i] = tails_idx[pos - 1]
+        if pos == len(tails_vals):
+            tails_vals.append(v)
+            tails_idx.append(i)
+        else:
+            tails_vals[pos] = v
+            tails_idx[pos] = i
+    # Walk predecessor links back from the tail of the longest run.
+    length = len(tails_idx)
+    out = np.empty(length, dtype=np.intp)
+    k = tails_idx[-1]
+    for j in range(length - 1, -1, -1):
+        out[j] = k
+        k = prev[k]
+    return out
+
+
+def lis_membership(seq: np.ndarray) -> np.ndarray:
+    """Boolean mask over ``seq`` marking one canonical LIS's members."""
+    mask = np.zeros(np.asarray(seq).shape[0], dtype=bool)
+    mask[longest_increasing_subsequence(seq)] = True
+    return mask
+
+
+def naive_lcs_length(a: np.ndarray, b: np.ndarray) -> int:
+    """Textbook ``O(n*m)`` dynamic-programming LCS length.
+
+    Reference implementation used to cross-validate the LIS shortcut in
+    tests and benchmarks; unusable at paper scale by design.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    # Row-rolling DP, vectorized over b with a scan per element of a.
+    m = b.shape[0]
+    curr = np.zeros(m + 1, dtype=np.int64)
+    for x in a.tolist():
+        prev_row = curr.copy()
+        match = prev_row[:-1] + (b == x)
+        # curr[j+1] = max(prev[j] + match, prev[j+1], curr[j]); the last term
+        # is a running max that needs a cumulative pass.
+        curr[1:] = np.maximum(match, prev_row[1:])
+        curr = np.maximum.accumulate(curr)
+    return int(curr[-1])
+
+
+@dataclass(frozen=True)
+class EditScript:
+    """The minimum edit script transforming trial B into trial A.
+
+    Attributes
+    ----------
+    matching:
+        The underlying packet alignment.
+    lcs_mask_b_order:
+        Boolean mask over common packets **in B order**: True for packets
+        kept in place (LCS members), False for moved packets.
+    signed_distances:
+        Signed move distances (``rank_A − rank_B``) for *all* common
+        packets in B order; LCS members have 0 by definition of the script.
+    deletions_b:
+        Positions in B of packets absent from A (pure deletions; their
+        ``d_i`` is 0 per the paper).
+    insertions_a:
+        Positions in A of packets absent from B (pure insertions).
+    """
+
+    matching: Matching
+    lcs_mask_b_order: np.ndarray
+    signed_distances: np.ndarray
+    deletions_b: np.ndarray
+    insertions_a: np.ndarray
+
+    @property
+    def lcs_length(self) -> int:
+        """Length of the longest common subsequence."""
+        return int(np.count_nonzero(self.lcs_mask_b_order))
+
+    @property
+    def n_moved(self) -> int:
+        """Number of common packets the script moves."""
+        return self.matching.n_common - self.lcs_length
+
+    @property
+    def moved_distances(self) -> np.ndarray:
+        """Signed distances of moved packets only (Table 1 population)."""
+        return self.signed_distances[~self.lcs_mask_b_order]
+
+    def total_distance(self) -> float:
+        """``Σ d_i`` — the numerator of Equation 2."""
+        return float(np.abs(self.signed_distances).sum())
+
+
+def edit_script(a: Trial, b: Trial, matching: Matching | None = None) -> EditScript:
+    """Derive the minimum edit script turning trial B into trial A."""
+    m = matching if matching is not None else match_trials(a, b)
+    n = m.n_common
+
+    # A-side ranks of common packets listed in B order; its LIS is the LCS.
+    order_b = np.argsort(m.idx_b, kind="stable")
+    a_ranks_in_b = order_b.astype(np.int64, copy=False)
+    b_ranks = np.arange(n, dtype=np.int64)
+
+    keep = lis_membership(a_ranks_in_b)
+    signed = np.where(keep, 0, a_ranks_in_b - b_ranks).astype(np.float64)
+
+    all_b = np.ones(m.len_b, dtype=bool)
+    all_b[m.idx_b] = False
+    deletions_b = np.flatnonzero(all_b)
+    all_a = np.ones(m.len_a, dtype=bool)
+    all_a[m.idx_a] = False
+    insertions_a = np.flatnonzero(all_a)
+
+    return EditScript(
+        matching=m,
+        lcs_mask_b_order=keep,
+        signed_distances=signed,
+        deletions_b=deletions_b,
+        insertions_a=insertions_a,
+    )
+
+
+@dataclass(frozen=True)
+class MoveDistanceStats:
+    """Distributional statistics of signed move distances (Table 1 columns)."""
+
+    n_moved: int
+    mean: float
+    std: float
+    abs_mean: float
+    abs_std: float
+    min: float
+    max: float
+
+    @classmethod
+    def from_distances(cls, distances: np.ndarray) -> "MoveDistanceStats":
+        """Summarize a (possibly empty) array of signed move distances."""
+        d = np.asarray(distances, dtype=np.float64)
+        if d.size == 0:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        ad = np.abs(d)
+        return cls(
+            n_moved=int(d.size),
+            mean=float(d.mean()),
+            std=float(d.std()),
+            abs_mean=float(ad.mean()),
+            abs_std=float(ad.std()),
+            min=float(d.min()),
+            max=float(d.max()),
+        )
+
+
+def move_distance_stats(a: Trial, b: Trial) -> MoveDistanceStats:
+    """Table 1: statistics of the distances packets moved in the edit script."""
+    return MoveDistanceStats.from_distances(edit_script(a, b).moved_distances)
+
+
+def ordering_from_matching(m: Matching, script: EditScript) -> float:
+    """Equation 2 from a precomputed matching and edit script."""
+    n = m.n_common
+    if n <= 1:
+        return 0.0
+    denom = n * (n + 1) / 2.0  # sum_{k=0}^{n} k at the reversal worst case
+    return script.total_distance() / denom
+
+
+def ordering_variation(a: Trial, b: Trial) -> float:
+    """Equation 2: normalized variation in packet ordering between trials."""
+    m = match_trials(a, b)
+    return ordering_from_matching(m, edit_script(a, b, matching=m))

@@ -1,0 +1,98 @@
+"""Bellardo-Savage-style reordering analysis (Section 9's comparison point).
+
+Bellardo and Savage (IMW '02) characterize reordering as a *probability
+as a function of inter-packet spacing*: how likely is a packet pair sent
+``k`` apart (or ``Δt`` apart) to arrive inverted?  The paper contrasts
+this with its O metric — O captures the *distance* of reordering, the
+B&S view captures its *spacing sensitivity* — and notes the two are
+complementary ("their methods work on any TCP-supporting system ... Our
+metrics capture the distance of reordering, and could also be shown as a
+function of spacing").
+
+Here the send order is recovered from the Choir tags' sequence numbers
+(per replay node), so the measurement works on any capture the tools in
+this package produce — including multi-replayer merges, where each
+node's substream is analyzed in its own sequence space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .trial import Trial
+
+#: Tag layout (see repro.analysis.tagging): replayer id above bit 48.
+#: Inlined here rather than imported to keep core free of analysis deps.
+_SEQ_BITS = 48
+_SEQ_MASK = (1 << _SEQ_BITS) - 1
+
+__all__ = ["ReorderBySpacing", "reorder_probability_by_spacing"]
+
+
+@dataclass(frozen=True)
+class ReorderBySpacing:
+    """Reordering probability per send-spacing lag.
+
+    ``probability[k-1]`` is the fraction of packet pairs sent ``k``
+    sequence positions apart (same replay node) that arrived inverted.
+    """
+
+    lags: np.ndarray
+    probability: np.ndarray
+    n_pairs: np.ndarray
+
+    @property
+    def any_reordering(self) -> bool:
+        """True when any measured lag shows inversions."""
+        return bool(np.any(self.probability > 0))
+
+    def rows(self) -> list[dict]:
+        """Table rows for rendering."""
+        return [
+            {"lag": int(k), "p_reorder": float(p), "n_pairs": int(n)}
+            for k, p, n in zip(self.lags, self.probability, self.n_pairs)
+        ]
+
+
+def reorder_probability_by_spacing(trial: Trial, max_lag: int = 16) -> ReorderBySpacing:
+    """Measure P(inverted arrival) vs send spacing, per the B&S framing.
+
+    For every replay node present in the capture, packets are mapped to
+    their arrival ranks; a pair ``(i, i+k)`` in send order is inverted
+    when the later-sent packet arrived earlier.  Pairs straddling missing
+    packets are simply not formed (the same convention B&S use for loss).
+    """
+    if max_lag < 1:
+        raise ValueError("max_lag must be >= 1")
+    inversions = np.zeros(max_lag, dtype=np.int64)
+    totals = np.zeros(max_lag, dtype=np.int64)
+
+    rids = trial.tags >> _SEQ_BITS
+    seqs = trial.tags & _SEQ_MASK
+    arrival_rank = np.arange(len(trial), dtype=np.int64)
+    for rid in np.unique(rids):
+        mask = rids == rid
+        node_seqs = seqs[mask]
+        node_ranks = arrival_rank[mask]
+        # Order this node's packets by send sequence.
+        order = np.argsort(node_seqs, kind="stable")
+        s = node_seqs[order]
+        r = node_ranks[order]
+        for k in range(1, max_lag + 1):
+            if s.shape[0] <= k:
+                break
+            # Only count pairs exactly k sequence numbers apart (gaps from
+            # drops break the pair, as in B&S).
+            valid = (s[k:] - s[:-k]) == k
+            totals[k - 1] += int(np.count_nonzero(valid))
+            inversions[k - 1] += int(np.count_nonzero(valid & (r[k:] < r[:-k])))
+
+    with np.errstate(invalid="ignore", divide="ignore"):
+        prob = np.where(totals > 0, inversions / np.maximum(totals, 1), 0.0)
+    return ReorderBySpacing(
+        lags=np.arange(1, max_lag + 1, dtype=np.int64),
+        probability=prob,
+        n_pairs=totals,
+    )

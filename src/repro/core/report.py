@@ -1,0 +1,184 @@
+"""High-level comparison drivers: one pair, and a run-series vs baseline.
+
+The paper's workflow is always the same: record one baseline run (A), run
+the replay several more times (B, C, D, E, ...), and compare every repeat
+to A.  :func:`compare_trials` produces the full Section-3 analysis for one
+pair; :class:`RunSeriesReport` aggregates a whole series, producing the
+per-run rows quoted in Sections 6-7 and the mean rows of Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .histograms import DeltaHistogram, SymlogBins, pct_within
+from .iat import iat_deltas_ns, iat_from_matching
+from .kappa import KappaScaling, MetricVector
+from .latency import latency_deltas_ns, latency_from_matching
+from .matching import match_trials
+from .ordering import (
+    MoveDistanceStats,
+    edit_script,
+    ordering_from_matching,
+)
+from .trial import Trial
+from .uniqueness import uniqueness_from_matching
+
+__all__ = ["PairReport", "compare_trials", "RunSeriesReport", "compare_series"]
+
+
+@dataclass(frozen=True)
+class PairReport:
+    """Everything Section 3 extracts from one (baseline, run) pair."""
+
+    baseline_label: str
+    run_label: str
+    metrics: MetricVector
+    n_baseline: int
+    n_run: int
+    n_common: int
+    pct_iat_within_10ns: float
+    move_stats: MoveDistanceStats
+    iat_hist: DeltaHistogram
+    latency_hist: DeltaHistogram
+    meta: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def kappa(self) -> float:
+        """Equation 5 for this pair."""
+        return self.metrics.kappa()
+
+    def kappa_scaled(self, scaling: KappaScaling) -> float:
+        """Equation 5 under a Section-8.2 weighting/scaling refinement."""
+        return self.metrics.kappa(scaling)
+
+    @property
+    def n_missing(self) -> int:
+        """Baseline packets absent from the run (drops, as counted in §7.1)."""
+        return self.n_baseline - self.n_common
+
+    def row(self) -> dict:
+        """A flat dict row for table rendering."""
+        return {
+            "run": self.run_label,
+            "U": self.metrics.u,
+            "O": self.metrics.o,
+            "I": self.metrics.i,
+            "L": self.metrics.l,
+            "kappa": self.kappa,
+            "pct_iat_10ns": self.pct_iat_within_10ns,
+            "n_common": self.n_common,
+            "n_missing": self.n_missing,
+        }
+
+
+def compare_trials(
+    baseline: Trial,
+    run: Trial,
+    bins: SymlogBins | None = None,
+    within_ns: float = 10.0,
+) -> PairReport:
+    """Full Section-3 comparison of ``run`` against ``baseline``.
+
+    Computes the matching once and derives all four metrics, κ, the ±10 ns
+    IAT statistic, the Table-1 move-distance statistics, and both figure
+    histograms from it.
+    """
+    bins = bins if bins is not None else SymlogBins()
+    m = match_trials(baseline, run)
+    script = edit_script(baseline, run, matching=m)
+
+    u = uniqueness_from_matching(m)
+    o = ordering_from_matching(m, script)
+    lat = latency_from_matching(baseline, run, m)
+    iat = iat_from_matching(baseline, run, m)
+
+    iat_deltas = iat_deltas_ns(baseline, run, matching=m)
+    lat_deltas = latency_deltas_ns(baseline, run, matching=m)
+
+    return PairReport(
+        baseline_label=baseline.label,
+        run_label=run.label,
+        metrics=MetricVector(u, o, lat, iat),
+        n_baseline=len(baseline),
+        n_run=len(run),
+        n_common=m.n_common,
+        pct_iat_within_10ns=pct_within(iat_deltas, within_ns),
+        move_stats=MoveDistanceStats.from_distances(script.moved_distances),
+        iat_hist=DeltaHistogram.from_deltas(iat_deltas, bins, label=run.label),
+        latency_hist=DeltaHistogram.from_deltas(lat_deltas, bins, label=run.label),
+        meta={"baseline": dict(baseline.meta), "run": dict(run.meta)},
+    )
+
+
+@dataclass(frozen=True)
+class RunSeriesReport:
+    """All repeat runs of an environment compared against the baseline run."""
+
+    environment: str
+    baseline_label: str
+    pairs: tuple[PairReport, ...]
+
+    def __post_init__(self) -> None:
+        if not self.pairs:
+            raise ValueError("a run series needs at least one repeat run")
+
+    # -- per-run accessors (the Sections 6-7 quoted lists) ---------------
+    def values(self, component: str) -> np.ndarray:
+        """Per-run values of one metric: 'U', 'O', 'L', 'I' or 'kappa'."""
+        comp = component.lower()
+        if comp == "kappa":
+            return np.array([p.kappa for p in self.pairs])
+        if comp in ("u", "o", "l", "i"):
+            return np.array([getattr(p.metrics, comp) for p in self.pairs])
+        raise KeyError(f"unknown metric component {component!r}")
+
+    def pct_iat_within_10ns(self) -> np.ndarray:
+        """Per-run % of packets within ±10 ns IAT delta of the baseline."""
+        return np.array([p.pct_iat_within_10ns for p in self.pairs])
+
+    # -- aggregate row (Table 2) -----------------------------------------
+    def mean_row(self) -> dict:
+        """The environment's Table-2 row: mean U, O, I, L and κ."""
+        return {
+            "environment": self.environment,
+            "U": float(self.values("U").mean()),
+            "O": float(self.values("O").mean()),
+            "I": float(self.values("I").mean()),
+            "L": float(self.values("L").mean()),
+            "kappa": float(self.values("kappa").mean()),
+        }
+
+    def run_rows(self) -> list[dict]:
+        """Per-run rows, as the running text of Sections 6-7 reports them."""
+        return [p.row() for p in self.pairs]
+
+
+def compare_series(
+    trials: list[Trial],
+    environment: str = "",
+    bins: SymlogBins | None = None,
+) -> RunSeriesReport:
+    """Compare ``trials[1:]`` against the baseline ``trials[0]``.
+
+    Mirrors the paper's protocol: the first run is A, later runs are
+    labelled B, C, D, E, ... if they carry no label of their own.
+    """
+    if len(trials) < 2:
+        raise ValueError("need a baseline plus at least one repeat run")
+    bins = bins if bins is not None else SymlogBins()
+    baseline = trials[0]
+    if not baseline.label:
+        baseline = baseline.relabel("A")
+    pairs = []
+    for k, run in enumerate(trials[1:]):
+        if not run.label:
+            run = run.relabel(chr(ord("B") + k) if k < 25 else f"run{k + 1}")
+        pairs.append(compare_trials(baseline, run, bins=bins))
+    return RunSeriesReport(
+        environment=environment,
+        baseline_label=baseline.label,
+        pairs=tuple(pairs),
+    )

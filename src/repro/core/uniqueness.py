@@ -1,0 +1,39 @@
+"""The uniqueness-variation metric ``U`` (Equation 1).
+
+.. math::
+
+    U_{AB} = 1 - \\frac{2\\,|A \\cap B|}{|A| + |B|}
+
+``U`` measures how much the two trials' packet *sets* overlap: drops,
+corrupted packets, and spurious extras all reduce the overlap.  It is
+symmetric, 0 when the trials carry exactly the same packets, and 1 when
+they share none.
+
+The paper's worked example: a 10-packet trial A against a trial B that
+dropped one packet gives ``U = (10 + 9 - 2*9) / (10 + 9) = 1/19``.
+"""
+
+from __future__ import annotations
+
+from .matching import Matching, match_trials
+from .trial import Trial
+
+__all__ = ["uniqueness_variation", "uniqueness_from_matching"]
+
+
+def uniqueness_from_matching(m: Matching) -> float:
+    """Compute ``U`` from a precomputed :class:`Matching`.
+
+    Two empty trials are defined as perfectly consistent (``U = 0``) —
+    there is nothing to disagree about; this also keeps the metric
+    continuous as trial sizes shrink to zero together.
+    """
+    total = m.len_a + m.len_b
+    if total == 0:
+        return 0.0
+    return 1.0 - (2.0 * m.n_common) / total
+
+
+def uniqueness_variation(a: Trial, b: Trial) -> float:
+    """Equation 1: normalized variation in packet uniqueness between trials."""
+    return uniqueness_from_matching(match_trials(a, b))

@@ -1,0 +1,168 @@
+"""Per-figure drivers: regenerate every histogram figure's data series.
+
+Each ``fig*`` function returns a :class:`FigureSeries` holding the per-run
+delta histograms (runs B-E against run A) exactly as the corresponding
+paper figure plots them, plus a renderer to text.  Figure → scenario
+mapping follows DESIGN.md's experiment index:
+
+====== ============================ ==========================
+Figure Content                      Scenario
+====== ============================ ==========================
+4a/4b  IAT / latency deltas         local-single
+5      IAT deltas                   local-dual
+6a/6b  IAT / latency deltas         fabric-dedicated-40g
+7a/7b  IAT / latency deltas         fabric-shared-40g
+8a/8b  IAT / latency deltas         fabric-dedicated-40g-2
+9a     IAT deltas at 80 Gbps        fabric-dedicated-80g
+9b     IAT deltas at 80 Gbps        fabric-shared-80g
+10a/b  IAT / latency deltas, noisy  fabric-shared-40g-noisy
+====== ============================ ==========================
+
+(Figures 2 and 3 are the analytic worst-case constructions; they live in
+:func:`repro.core.latency.max_latency_construction` and
+:func:`repro.core.iat.max_iat_construction` and are exercised by the
+metric property tests and ``benchmarks/bench_metrics.py``.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.textplot import render_histogram, render_series_table
+from ..core.histograms import DeltaHistogram
+from .runner import run_scenario
+
+__all__ = [
+    "FigureSeries",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "ALL_FIGURES",
+]
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One paper figure's regenerated data."""
+
+    figure_id: str
+    scenario_key: str
+    kind: str  # "iat" or "latency"
+    histograms: tuple[DeltaHistogram, ...]
+    caption: str
+
+    def to_svg(self, path=None):
+        """Render the figure as a publication-style SVG.
+
+        Returns the :class:`~repro.viz.svg.SvgDocument`; with ``path`` it
+        is also written to disk.
+        """
+        from ..viz import histogram_figure
+
+        kind = "IAT delta" if self.kind == "iat" else "latency delta"
+        doc = histogram_figure(
+            list(self.histograms),
+            title=f"Figure {self.figure_id}: {self.caption}",
+            xlabel=f"{kind} (ns)",
+        )
+        if path is not None:
+            doc.save(path)
+        return doc
+
+    def render(self) -> str:
+        """The figure as stacked text histograms plus the series table."""
+        parts = [f"Figure {self.figure_id}: {self.caption}", ""]
+        for h in self.histograms:
+            parts.append(render_histogram(h, title=f"run {h.label} vs A:"))
+        parts.append("series table (percent of packets per bin):")
+        parts.append(render_series_table(list(self.histograms)))
+        return "\n".join(parts)
+
+
+def _series(
+    figure_id: str, key: str, kind: str, caption: str, **run_kwargs
+) -> FigureSeries:
+    report = run_scenario(key, **run_kwargs)
+    attr = "iat_hist" if kind == "iat" else "latency_hist"
+    return FigureSeries(
+        figure_id=figure_id,
+        scenario_key=key,
+        kind=kind,
+        histograms=tuple(getattr(p, attr) for p in report.pairs),
+        caption=caption,
+    )
+
+
+def fig4(**kw) -> tuple[FigureSeries, FigureSeries]:
+    """Figures 4a/4b: local single-replayer IAT and latency deltas."""
+    return (
+        _series("4a", "local-single", "iat", "IAT deltas, local testbed, 1 replayer.", **kw),
+        _series("4b", "local-single", "latency", "Latency deltas, local testbed, 1 replayer.", **kw),
+    )
+
+
+def fig5(**kw) -> FigureSeries:
+    """Figure 5: local dual-replayer IAT deltas (longer tails than Fig 4a)."""
+    return _series("5", "local-dual", "iat", "IAT deltas, local testbed, 2 parallel replayers.", **kw)
+
+
+def fig6(**kw) -> tuple[FigureSeries, FigureSeries]:
+    """Figures 6a/6b: FABRIC dedicated NICs at 40 Gbps."""
+    return (
+        _series("6a", "fabric-dedicated-40g", "iat", "IAT deltas, FABRIC dedicated NICs, 40 Gbps.", **kw),
+        _series("6b", "fabric-dedicated-40g", "latency", "Latency deltas, FABRIC dedicated NICs, 40 Gbps.", **kw),
+    )
+
+
+def fig7(**kw) -> tuple[FigureSeries, FigureSeries]:
+    """Figures 7a/7b: FABRIC shared NICs at 40 Gbps."""
+    return (
+        _series("7a", "fabric-shared-40g", "iat", "IAT deltas, FABRIC shared NICs, 40 Gbps.", **kw),
+        _series("7b", "fabric-shared-40g", "latency", "Latency deltas, FABRIC shared NICs, 40 Gbps.", **kw),
+    )
+
+
+def fig8(**kw) -> tuple[FigureSeries, FigureSeries]:
+    """Figures 8a/8b: the FABRIC dedicated-NIC retest at 40 Gbps."""
+    return (
+        _series("8a", "fabric-dedicated-40g-2", "iat", "IAT deltas, FABRIC dedicated NICs retest.", **kw),
+        _series("8b", "fabric-dedicated-40g-2", "latency", "Latency deltas, FABRIC dedicated NICs retest.", **kw),
+    )
+
+
+def fig9(**kw) -> tuple[FigureSeries, FigureSeries]:
+    """Figures 9a/9b: FABRIC at 80 Gbps, dedicated and shared NICs (IAT)."""
+    return (
+        _series("9a", "fabric-dedicated-80g", "iat", "IAT deltas, FABRIC dedicated NICs, 80 Gbps.", **kw),
+        _series("9b", "fabric-shared-80g", "iat", "IAT deltas, FABRIC shared NICs, 80 Gbps.", **kw),
+    )
+
+
+def fig10(**kw) -> tuple[FigureSeries, FigureSeries]:
+    """Figures 10a/10b: FABRIC shared NICs at 40 Gbps under co-tenant noise."""
+    return (
+        _series("10a", "fabric-shared-40g-noisy", "iat", "IAT deltas, shared NICs under iperf3 noise.", **kw),
+        _series("10b", "fabric-shared-40g-noisy", "latency", "Latency deltas, shared NICs under iperf3 noise.", **kw),
+    )
+
+
+#: figure id → zero-arg generator returning that figure's series.
+ALL_FIGURES = {
+    "4a": lambda **kw: fig4(**kw)[0],
+    "4b": lambda **kw: fig4(**kw)[1],
+    "5": fig5,
+    "6a": lambda **kw: fig6(**kw)[0],
+    "6b": lambda **kw: fig6(**kw)[1],
+    "7a": lambda **kw: fig7(**kw)[0],
+    "7b": lambda **kw: fig7(**kw)[1],
+    "8a": lambda **kw: fig8(**kw)[0],
+    "8b": lambda **kw: fig8(**kw)[1],
+    "9a": lambda **kw: fig9(**kw)[0],
+    "9b": lambda **kw: fig9(**kw)[1],
+    "10a": lambda **kw: fig10(**kw)[0],
+    "10b": lambda **kw: fig10(**kw)[1],
+}

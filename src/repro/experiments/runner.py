@@ -1,0 +1,70 @@
+"""Experiment execution: run scenarios, cache series reports per process.
+
+Several figures and both tables draw on the same underlying trial series
+(e.g. Table 2 needs all nine environments; Figures 4a and 4b share the
+local-single series).  ``run_scenario`` memoizes by (scenario, scale,
+n_runs, seed) so a full benchmark session simulates each environment once.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..core.report import RunSeriesReport, compare_series
+from ..core.trial import Trial
+from ..testbeds import EnvironmentProfile, Testbed
+from .scenarios import scenario
+
+__all__ = ["run_trials", "run_scenario", "run_scenario_trials"]
+
+
+def run_trials(
+    profile: EnvironmentProfile, n_runs: int = 5, seed: int = 0
+) -> list[Trial]:
+    """Run a trial series on an ad-hoc profile (the quickstart entry point)."""
+    return Testbed(profile, seed=seed).run_series(n_runs)
+
+
+@lru_cache(maxsize=32)
+def _cached_series(
+    key: str, duration_scale: float, n_runs: int, seed_override: int | None
+) -> tuple[tuple[Trial, ...], str]:
+    sc = scenario(key)
+    profile = sc.profile(duration_scale)
+    seed = sc.seed if seed_override is None else seed_override
+    trials = Testbed(profile, seed=seed).run_series(n_runs)
+    return tuple(trials), profile.name
+
+
+def run_scenario_trials(
+    key: str,
+    *,
+    duration_scale: float | None = None,
+    n_runs: int = 5,
+    seed: int | None = None,
+) -> list[Trial]:
+    """The raw trials of a registered scenario (memoized per process)."""
+    sc = scenario(key)  # validate the key before touching the cache
+    scale = duration_scale if duration_scale is not None else _default_scale()
+    trials, _ = _cached_series(sc.key, scale, n_runs, seed)
+    return list(trials)
+
+
+def run_scenario(
+    key: str,
+    *,
+    duration_scale: float | None = None,
+    n_runs: int = 5,
+    seed: int | None = None,
+) -> RunSeriesReport:
+    """Run (or reuse) a scenario's series and return its analysis report."""
+    sc = scenario(key)
+    scale = duration_scale if duration_scale is not None else _default_scale()
+    trials, env_name = _cached_series(sc.key, scale, n_runs, seed)
+    return compare_series(list(trials), environment=env_name)
+
+
+def _default_scale() -> float:
+    from .scenarios import default_duration_scale
+
+    return default_duration_scale()

@@ -1,0 +1,178 @@
+"""The evaluation scenario registry: one entry per Table-2 environment.
+
+Each :class:`Scenario` binds an environment constructor to its paper
+provenance (section, figure/table ids) and the values the paper reports,
+so experiment drivers and EXPERIMENTS.md can print paper-vs-measured side
+by side.
+
+Scale control: the paper's captures are 0.3 s (~1.05M packets at
+3.52 Mpps).  Full scale takes ~10-25 s of simulation per environment;
+``duration_scale`` shrinks the window at identical rates, which preserves
+every metric expectation except the clock-step share of L (∝ 1/duration,
+see :meth:`repro.testbeds.profiles.EnvironmentProfile.at_duration`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+from ..testbeds import (
+    EnvironmentProfile,
+    fabric_dedicated_40g,
+    fabric_dedicated_40g_retest,
+    fabric_dedicated_80g,
+    fabric_dedicated_80g_noisy,
+    fabric_shared_40g,
+    fabric_shared_40g_noisy,
+    fabric_shared_80g,
+    local_dual_replayer,
+    local_single_replayer,
+)
+
+__all__ = ["PaperRow", "Scenario", "SCENARIOS", "scenario", "default_duration_scale"]
+
+
+def default_duration_scale() -> float:
+    """Duration scale from ``REPRO_SCALE`` (default 0.25; 1.0 = paper scale)."""
+    raw = os.environ.get("REPRO_SCALE", "0.25")
+    try:
+        scale = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"REPRO_SCALE must be a number, got {raw!r}") from exc
+    if not 0 < scale <= 4:
+        raise ValueError(f"REPRO_SCALE must be in (0, 4], got {scale}")
+    return scale
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """The paper-reported mean metrics for one environment (Table 2)."""
+
+    u: float
+    o: float
+    i: float
+    l: float
+    kappa: float
+    pct10_low: float | None = None
+    pct10_high: float | None = None
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One evaluation scenario and its paper provenance."""
+
+    key: str
+    build: Callable[[], EnvironmentProfile]
+    paper: PaperRow
+    figures: tuple[str, ...]
+    tables: tuple[str, ...]
+    seed: int
+    description: str
+
+    def profile(self, duration_scale: float | None = None) -> EnvironmentProfile:
+        """The environment profile at the requested duration scale."""
+        p = self.build()
+        scale = duration_scale if duration_scale is not None else default_duration_scale()
+        if scale != 1.0:
+            p = p.at_duration(p.duration_ns * scale)
+        return p
+
+
+#: The nine environments in the paper's presentation order (Table 2).
+SCENARIOS: tuple[Scenario, ...] = (
+    Scenario(
+        key="local-single",
+        build=local_single_replayer,
+        paper=PaperRow(0.0, 0.0, 0.0294, 4.27e-6, 0.9853, 92.23, 92.51),
+        figures=("4a", "4b"),
+        tables=("2",),
+        seed=11,
+        description="Local bare-metal testbed, single replayer, 40 Gbps.",
+    ),
+    Scenario(
+        key="local-dual",
+        build=local_dual_replayer,
+        paper=PaperRow(0.0, 0.0259, 0.2022, 9.68e-3, 0.9282, 92.75, 92.90),
+        figures=("5",),
+        tables=("1", "2"),
+        seed=13,
+        description="Local testbed, two parallel replayers (Figure 1), 40 Gbps total.",
+    ),
+    Scenario(
+        key="fabric-dedicated-40g",
+        build=fabric_dedicated_40g,
+        paper=PaperRow(0.0, 0.0, 0.4996, 3.07e-5, 0.7426, 30.64, 48.44),
+        figures=("6a", "6b"),
+        tables=("2",),
+        seed=17,
+        description="FABRIC, dedicated ConnectX-6 pair, 40 Gbps (anomalous test 1).",
+    ),
+    Scenario(
+        key="fabric-shared-40g",
+        build=fabric_shared_40g,
+        paper=PaperRow(0.0, 0.0, 0.0662, 2.24e-5, 0.9669, 26.44, 29.15),
+        figures=("7a", "7b"),
+        tables=("2",),
+        seed=19,
+        description="FABRIC, shared SR-IOV NICs, 40 Gbps, idle site.",
+    ),
+    Scenario(
+        key="fabric-dedicated-40g-2",
+        build=fabric_dedicated_40g_retest,
+        paper=PaperRow(0.0, 0.0, 0.4998, 4.20e-4, 0.7502, 24.01, 27.18),
+        figures=("8a", "8b"),
+        tables=("2",),
+        seed=23,
+        description="FABRIC, dedicated NICs re-test (confirms the anomaly).",
+    ),
+    Scenario(
+        key="fabric-dedicated-80g",
+        build=fabric_dedicated_80g,
+        paper=PaperRow(0.0, 0.0, 0.1073, 8.20e-6, 0.9463, 30.11, 30.19),
+        figures=("9a",),
+        tables=("2",),
+        seed=29,
+        description="FABRIC, dedicated NICs, 80 Gbps (6.97 Mpps).",
+    ),
+    Scenario(
+        key="fabric-shared-80g",
+        build=fabric_shared_80g,
+        paper=PaperRow(0.0, 0.0, 0.1105, 2.26e-5, 0.9448, 30.12, 30.20),
+        figures=("9b",),
+        tables=("2",),
+        seed=31,
+        description="FABRIC, shared NICs, 80 Gbps.",
+    ),
+    Scenario(
+        key="fabric-dedicated-80g-noisy",
+        build=fabric_dedicated_80g_noisy,
+        paper=PaperRow(0.0, 0.0, 0.1085, 1.37e-5, 0.9458, 30.15, 32.16),
+        figures=(),
+        tables=("2",),
+        seed=37,
+        description="FABRIC, dedicated NICs, 80 Gbps, with co-located iperf3 noise.",
+    ),
+    Scenario(
+        key="fabric-shared-40g-noisy",
+        build=fabric_shared_40g_noisy,
+        paper=PaperRow(1.99e-4, 0.0, 0.5024, 2.04e-5, 0.7488, 9.31, 13.81),
+        figures=("10a", "10b"),
+        tables=("2",),
+        seed=41,
+        description="FABRIC, shared NICs, 40 Gbps, against an 8-stream iperf3 co-tenant.",
+    ),
+)
+
+_BY_KEY = {s.key: s for s in SCENARIOS}
+
+
+def scenario(key: str) -> Scenario:
+    """Look up a scenario by key; raises ``KeyError`` with the valid keys."""
+    try:
+        return _BY_KEY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {key!r}; valid keys: {sorted(_BY_KEY)}"
+        ) from None

@@ -1,0 +1,68 @@
+"""Table drivers: regenerate Table 1 and Table 2 with paper comparison.
+
+``table1()`` reruns the local dual-replayer series and summarizes the
+edit-script move distances; ``table2()`` reruns all nine environments and
+assembles the mean-metric table, optionally annotated with the paper's
+reported values for side-by-side comparison (the EXPERIMENTS.md format).
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import render_table1, table1_rows
+from ..analysis.textplot import render_metric_rows
+from .runner import run_scenario
+from .scenarios import SCENARIOS
+
+__all__ = ["table1", "render_table1_text", "table2", "render_table2_text"]
+
+
+def table1(**run_kwargs) -> list[dict]:
+    """Table 1 rows (move-distance statistics, local dual-replayer)."""
+    return table1_rows(run_scenario("local-dual", **run_kwargs))
+
+
+def render_table1_text(**run_kwargs) -> str:
+    """Table 1 as text."""
+    return render_table1(run_scenario("local-dual", **run_kwargs))
+
+
+def table2(*, with_paper: bool = True, **run_kwargs) -> list[dict]:
+    """Table 2: one mean-metrics row per environment, presentation order.
+
+    With ``with_paper=True`` each row carries ``paper_*`` columns holding
+    the published values, so the shape comparison is in the data itself.
+    """
+    rows = []
+    for sc in SCENARIOS:
+        report = run_scenario(sc.key, **run_kwargs)
+        row = report.mean_row()
+        if with_paper:
+            row.update(
+                paper_U=sc.paper.u,
+                paper_O=sc.paper.o,
+                paper_I=sc.paper.i,
+                paper_L=sc.paper.l,
+                paper_kappa=sc.paper.kappa,
+            )
+        rows.append(row)
+    return rows
+
+
+def render_table2_text(*, with_paper: bool = True, **run_kwargs) -> str:
+    """Table 2 as text (measured, with paper values interleaved if asked)."""
+    rows = table2(with_paper=with_paper, **run_kwargs)
+    if with_paper:
+        columns = [
+            "environment",
+            "U", "paper_U",
+            "O", "paper_O",
+            "I", "paper_I",
+            "L", "paper_L",
+            "kappa", "paper_kappa",
+        ]
+    else:
+        columns = ["environment", "U", "O", "I", "L", "kappa"]
+    header = "Table 2: mean Section-3 metrics per environment"
+    if with_paper:
+        header += " (measured vs paper)"
+    return header + ".\n" + render_metric_rows(rows, columns=columns)

@@ -1,0 +1,36 @@
+"""Traffic sources: CBR generation, capture replay, gap control, TCP noise.
+
+The substrate equivalents of the tools the paper uses or compares against:
+Pktgen-DPDK (:class:`~repro.generators.cbr.CBRGenerator`), tcpreplay
+(:class:`~repro.generators.pcapsrc.CaptureReplaySource`), MoonGen's
+invalid-packet gap control (:class:`~repro.generators.moongen.MoonGenGapControl`),
+and the Section 7.1 iperf3 noise
+(:class:`~repro.generators.tcpnoise.TCPNoiseGenerator`).
+"""
+
+from .cbr import CBRGenerator
+from .imix import SIMPLE_IMIX, IMIXGenerator
+from .moongen import GapControlResult, MoonGenGapControl
+from .pcapsrc import CaptureReplaySource
+from .splitter import split_by_port, split_round_robin
+from .tcpconn import (
+    TCPConnectionRecord,
+    TCPConnectionReplayer,
+    synthesize_connections,
+)
+from .tcpnoise import TCPNoiseGenerator
+
+__all__ = [
+    "CBRGenerator",
+    "IMIXGenerator",
+    "SIMPLE_IMIX",
+    "CaptureReplaySource",
+    "MoonGenGapControl",
+    "GapControlResult",
+    "TCPNoiseGenerator",
+    "TCPConnectionRecord",
+    "TCPConnectionReplayer",
+    "synthesize_connections",
+    "split_round_robin",
+    "split_by_port",
+]

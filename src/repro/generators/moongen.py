@@ -1,0 +1,141 @@
+"""MoonGen-style invalid-packet gap control (the Section 9 baseline).
+
+MoonGen sidesteps the NIC's DMA-pull timing uncertainty by keeping the
+transmit queue *always full*: real packets are spaced by inserting invalid
+frames (bad CRC) that downstream devices discard, so inter-packet gaps are
+set by frame lengths, not by doorbell timing — nanosecond-accurate, with a
+minimum gap of ~60 ns (one minimal frame + overheads).
+
+The paper's Section 9 point, which :mod:`benchmarks.bench_ablation_baselines`
+demonstrates: the technique *requires the full line rate*.  On a shared
+NIC, the physical scheduler interleaves other tenants' frames into what
+the VF believes is a saturated wire, stretching the carefully constructed
+gaps — and saturating a shared port at line rate is abusive to co-tenants
+anyway.  Choir tolerates rate limitation because it never needs to own the
+wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..net.pktarray import PacketArray
+from ..net.sriov import SharedPort
+from ..net.units import wire_time_ns
+
+__all__ = ["MoonGenGapControl", "GapControlResult"]
+
+#: Smallest schedulable gap: one minimum Ethernet frame on the wire.
+MIN_FILLER_BYTES = 64
+
+
+@dataclass(frozen=True)
+class GapControlResult:
+    """Outcome of a gap-controlled transmission."""
+
+    packets: PacketArray
+    n_fillers: int
+    achieved_gaps_ns: np.ndarray
+    target_gaps_ns: np.ndarray
+
+    @property
+    def gap_error_ns(self) -> np.ndarray:
+        """Per-gap achieved-minus-target error."""
+        return self.achieved_gaps_ns - self.target_gaps_ns
+
+
+@dataclass(frozen=True)
+class MoonGenGapControl:
+    """Generate a stream with gaps set by invalid filler frames.
+
+    Parameters
+    ----------
+    rate_bps:
+        The line rate the generator *assumes it owns*.
+    overhead_bytes:
+        Wire overhead per frame.
+    """
+
+    rate_bps: float
+    overhead_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+
+    def min_gap_ns(self) -> float:
+        """The technique's floor: one minimal filler frame's wire time."""
+        return float(
+            wire_time_ns(MIN_FILLER_BYTES, self.rate_bps, overhead_bytes=self.overhead_bytes)
+        )
+
+    def plan(
+        self, sizes_bytes: np.ndarray, target_gaps_ns: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Wire schedule: per-real-packet start times and filler counts.
+
+        Gaps are realized as runs of filler frames whose total wire time
+        best approximates each target gap; quantization error is one
+        filler frame's wire time at worst.
+        """
+        sizes = np.asarray(sizes_bytes, dtype=np.float64)
+        gaps = np.asarray(target_gaps_ns, dtype=np.float64)
+        if gaps.shape[0] != sizes.shape[0]:
+            raise ValueError("need one target gap per packet (first is offset)")
+        filler_ns = self.min_gap_ns()
+        frame_ns = np.asarray(
+            wire_time_ns(sizes, self.rate_bps, overhead_bytes=self.overhead_bytes)
+        )
+        # A target IAT (start-to-start) of packet k is realized as packet
+        # k-1's frame plus a run of fillers; the frame itself is the floor.
+        n_fillers = np.zeros(gaps.shape[0], dtype=np.int64)
+        n_fillers[1:] = np.maximum(
+            0, np.round((gaps[1:] - frame_ns[:-1]) / filler_ns)
+        ).astype(np.int64)
+        starts = np.concatenate(
+            [[0.0], np.cumsum(frame_ns[:-1] + n_fillers[1:] * filler_ns)]
+        )
+        return starts, n_fillers
+
+    def transmit(
+        self,
+        sizes_bytes: np.ndarray,
+        target_gaps_ns: np.ndarray,
+        *,
+        shared_port: SharedPort | None = None,
+        background: PacketArray | None = None,
+        replayer_id: int = 0,
+    ) -> GapControlResult:
+        """Send the gap-controlled stream, optionally through a shared port.
+
+        On dedicated hardware (no ``shared_port``) gaps come out within
+        filler-frame quantization of the targets.  Behind a contended
+        shared port the saturated-wire assumption collapses and the
+        achieved gaps inherit the co-tenant interleaving.
+        """
+        starts, n_fillers = self.plan(sizes_bytes, target_gaps_ns)
+        n = starts.shape[0]
+        batch = PacketArray.uniform(
+            n, int(np.asarray(sizes_bytes)[0]), starts, replayer_id=replayer_id
+        )
+        batch = PacketArray(batch.tags, np.asarray(sizes_bytes, dtype=np.int64), starts)
+
+        if shared_port is not None:
+            result = shared_port.traverse(batch, background)
+            out = result.batch
+        else:
+            out = batch
+
+        achieved = np.diff(out.times_ns, prepend=out.times_ns[0] if len(out) else 0.0)
+        targets = np.asarray(target_gaps_ns, dtype=np.float64)[: len(out)]
+        targets = targets.copy()
+        if targets.size:
+            targets[0] = 0.0
+        return GapControlResult(
+            packets=out,
+            n_fillers=int(n_fillers.sum()),
+            achieved_gaps_ns=achieved,
+            target_gaps_ns=targets,
+        )

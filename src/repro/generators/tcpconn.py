@@ -1,0 +1,177 @@
+"""TCP connection-level replay (the TCPOpera / DETER baseline of Section 9).
+
+TCPOpera and DETER replay *TCP connections* — handshakes, byte streams,
+teardowns reconstructed from captures or statistics — rather than exact
+packets: "TCPOpera does not replay the specific packets and DETER was
+demonstrated at 10 Gbps with a larger (5 µs) packet gap.  Both are
+limited to TCP traffic."
+
+This model reproduces those semantics and, deliberately, those
+limitations:
+
+* a :class:`TCPConnectionRecord` carries what the tools preserve — byte
+  counts, connection timing envelope, endpoints — not packet identities;
+* :class:`TCPConnectionReplayer` re-emits each connection as a fresh
+  handshake + MSS-resegmented data + teardown, pacing data with a
+  configurable minimum gap (DETER's demonstrated 5 µs floor);
+* non-TCP input is rejected (:meth:`TCPConnectionReplayer.replay_capture`
+  raises on traffic it cannot express), which is exactly the generality
+  gap Choir fills.
+
+The Section-9 ablation benchmark quantifies the consequence: packet-level
+IAT fidelity is unachievable through a connection-level replay even when
+the byte streams reproduce perfectly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..net.pktarray import PacketArray, make_tags
+
+__all__ = ["TCPConnectionRecord", "TCPConnectionReplayer", "synthesize_connections"]
+
+#: Handshake/teardown segment size (headers-only frames on the wire).
+CTRL_BYTES = 60
+#: Replay-node id namespace for regenerated TCP packets.
+TCP_REPLAY_ID = 126
+
+
+@dataclass(frozen=True)
+class TCPConnectionRecord:
+    """What a connection-level replayer keeps about one connection."""
+
+    conn_id: int
+    start_ns: float
+    duration_ns: float
+    bytes_a_to_b: int
+    mss: int = 1448
+
+    def __post_init__(self) -> None:
+        if self.duration_ns <= 0:
+            raise ValueError("duration_ns must be positive")
+        if self.bytes_a_to_b < 0:
+            raise ValueError("byte count must be non-negative")
+        if self.mss < 1:
+            raise ValueError("mss must be positive")
+
+    @property
+    def n_data_segments(self) -> int:
+        """Segments after MSS resegmentation (not the original packets!)."""
+        return int(np.ceil(self.bytes_a_to_b / self.mss)) if self.bytes_a_to_b else 0
+
+
+def synthesize_connections(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    window_ns: float = 10e6,
+    mean_bytes: float = 200_000.0,
+    mss: int = 1448,
+) -> list[TCPConnectionRecord]:
+    """A synthetic connection log (the trace a tool would have captured).
+
+    Connection sizes are lognormal (heavy-tailed, like real flow-size
+    distributions); starts are uniform over the window; durations scale
+    with size plus a latency floor.
+    """
+    if n < 1:
+        raise ValueError("need at least one connection")
+    starts = np.sort(rng.uniform(0.0, window_ns, n))
+    sizes = rng.lognormal(np.log(mean_bytes), 1.0, n).astype(np.int64)
+    durations = 1e5 + sizes * 16.0  # 16 ns/byte ≈ 500 Mbps per flow + RTT floor
+    return [
+        TCPConnectionRecord(
+            conn_id=i,
+            start_ns=float(starts[i]),
+            duration_ns=float(durations[i]),
+            bytes_a_to_b=int(sizes[i]),
+            mss=mss,
+        )
+        for i in range(n)
+    ]
+
+
+@dataclass(frozen=True)
+class TCPConnectionReplayer:
+    """Replay connection records with TCP semantics, not packet fidelity.
+
+    Parameters
+    ----------
+    rtt_ns:
+        Emulated round-trip time driving the handshake spacing.
+    min_gap_ns:
+        Pacing floor between data segments (DETER: ~5 µs at 10 Gbps).
+    """
+
+    rtt_ns: float = 100_000.0
+    min_gap_ns: float = 5_000.0
+
+    def __post_init__(self) -> None:
+        if self.rtt_ns < 0 or self.min_gap_ns < 0:
+            raise ValueError("timing parameters must be non-negative")
+
+    def replay_connection(
+        self, record: TCPConnectionRecord, *, seq_base: int = 0
+    ) -> PacketArray:
+        """One connection as wire packets: SYN, data segments, FIN."""
+        n_data = record.n_data_segments
+        n_total = n_data + 2  # SYN + data... + FIN
+        sizes = np.full(n_total, record.mss + 52, dtype=np.int64)
+        sizes[0] = CTRL_BYTES
+        sizes[-1] = CTRL_BYTES
+        if n_data:
+            tail = record.bytes_a_to_b - (n_data - 1) * record.mss
+            sizes[n_data] = tail + 52  # last data segment carries the remainder
+
+        times = np.empty(n_total, dtype=np.float64)
+        times[0] = record.start_ns
+        if n_data:
+            # Data begins one RTT after SYN (handshake), paced evenly over
+            # the recorded duration but never under the gap floor.
+            gap = max(
+                (record.duration_ns - self.rtt_ns) / max(n_data, 1),
+                self.min_gap_ns,
+            )
+            times[1 : n_data + 1] = (
+                record.start_ns + self.rtt_ns + np.arange(n_data) * gap
+            )
+        times[-1] = times[-2] + self.min_gap_ns if n_total > 1 else record.start_ns
+
+        tags = make_tags(n_total, replayer_id=TCP_REPLAY_ID, start=seq_base)
+        return PacketArray(tags, sizes, times, meta={"conn_id": record.conn_id})
+
+    def replay(self, records: list[TCPConnectionRecord]) -> PacketArray:
+        """Replay a whole connection log, merged in wire order."""
+        if not records:
+            raise ValueError("need at least one connection record")
+        batches = []
+        seq = 0
+        for rec in records:
+            batch = self.replay_connection(rec, seq_base=seq)
+            seq += len(batch)
+            batches.append(batch)
+        merged, _ = PacketArray.merge(batches)
+        return merged
+
+    def replay_capture(self, capture: PacketArray, protocols: np.ndarray) -> PacketArray:
+        """Guard rail: connection replay only speaks TCP.
+
+        ``protocols`` carries each packet's IP protocol number; anything
+        other than 6 (TCP) is un-replayable by this class of tool.
+        """
+        protocols = np.asarray(protocols)
+        if protocols.shape[0] != len(capture):
+            raise ValueError("need one protocol number per packet")
+        non_tcp = np.unique(protocols[protocols != 6])
+        if non_tcp.size:
+            raise ValueError(
+                f"connection-level replay cannot express protocols "
+                f"{non_tcp.tolist()}; only TCP (6) is supported"
+            )
+        raise NotImplementedError(
+            "reconstructing connection records from raw captures is the "
+            "TCPOpera preprocessing step; synthesize records instead"
+        )

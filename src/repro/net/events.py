@@ -1,0 +1,92 @@
+"""A small discrete-event loop for control-plane sequencing.
+
+Bulk packet timing is computed vectorized (see :mod:`repro.net.queueing`);
+the event loop exists for the *control plane*: out-of-band user commands,
+record start/stop, scheduled replay starts, PTP sync epochs.  These are
+dozens of events per trial, so a classic heap-based DES is both simple and
+free.
+
+Events fire in (time, sequence) order; handlers may schedule further
+events.  The loop is deterministic: equal-time events fire in scheduling
+order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["EventLoop", "Event"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; ordered by (time, seq)."""
+
+    time_ns: float
+    seq: int
+    action: Callable[["EventLoop"], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it."""
+        self.cancelled = True
+
+
+class EventLoop:
+    """Heap-based discrete-event simulation loop."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self.now_ns: float = 0.0
+        self.n_fired: int = 0
+
+    def schedule(
+        self, time_ns: float, action: Callable[["EventLoop"], None], label: str = ""
+    ) -> Event:
+        """Schedule ``action`` at an absolute time; returns a cancellable handle."""
+        if time_ns < self.now_ns:
+            raise ValueError(
+                f"cannot schedule at {time_ns} ns: loop is already at {self.now_ns} ns"
+            )
+        ev = Event(float(time_ns), next(self._counter), action, label)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_in(
+        self, delay_ns: float, action: Callable[["EventLoop"], None], label: str = ""
+    ) -> Event:
+        """Schedule ``action`` ``delay_ns`` after the current time."""
+        if delay_ns < 0:
+            raise ValueError("delay_ns must be non-negative")
+        return self.schedule(self.now_ns + delay_ns, action, label)
+
+    def run(self, until_ns: float | None = None, max_events: int = 1_000_000) -> None:
+        """Fire events in order until the heap drains or ``until_ns`` passes.
+
+        ``max_events`` guards against runaway self-scheduling handlers.
+        """
+        fired = 0
+        while self._heap:
+            if until_ns is not None and self._heap[0].time_ns > until_ns:
+                break
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            if fired >= max_events:
+                raise RuntimeError(f"event budget exhausted ({max_events} events)")
+            self.now_ns = ev.time_ns
+            ev.action(self)
+            fired += 1
+            self.n_fired += 1
+        if until_ns is not None and until_ns > self.now_ns:
+            self.now_ns = float(until_ns)
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for e in self._heap if not e.cancelled)

@@ -1,0 +1,89 @@
+"""Hardware catalog: named models for the NICs and switches of Section 8.1.
+
+The paper enumerates the hardware differences between its testbeds
+(ConnectX-5 vs ConnectX-6, Tofino2 vs Cisco 5700, E810 vs CX-6
+timestamping); this catalog gives each part a named, documented model so
+profiles and user code reference hardware by name instead of magic
+numbers.  Parameters are behavioural calibrations, not datasheet claims
+— see ``docs/calibration.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..timing.hwstamp import RealtimeHWStamper, RxTimestamper, SampledClockStamper
+from .nicmodel import TxNicModel
+from .switch import CISCO_5700, TOFINO2, SwitchModel
+
+__all__ = ["NicPart", "NIC_CATALOG", "SWITCH_CATALOG", "nic", "switch"]
+
+
+@dataclass(frozen=True)
+class NicPart:
+    """One NIC model: its TX path and its RX timestamping behaviour."""
+
+    name: str
+    rate_bps: float
+    tx: TxNicModel
+    rx_stamper: RxTimestamper
+    notes: str = ""
+
+
+#: The parts the paper's testbeds use, plus the virtualized VF variant.
+NIC_CATALOG: dict[str, NicPart] = {
+    "connectx-5": NicPart(
+        name="Mellanox ConnectX-5",
+        rate_bps=100e9,
+        tx=TxNicModel(rate_bps=100e9, pull_delay_ns=600.0, pull_jitter=0.26),
+        rx_stamper=SampledClockStamper(jitter_ns=8.0, sample_error_ns=20.0),
+        notes="The local testbed's generator/replayer NIC (bare metal).",
+    ),
+    "connectx-6": NicPart(
+        name="Mellanox ConnectX-6",
+        rate_bps=100e9,
+        tx=TxNicModel(rate_bps=100e9, pull_delay_ns=900.0, pull_jitter=0.18),
+        rx_stamper=SampledClockStamper(jitter_ns=14.5, sample_error_ns=25.0),
+        notes="FABRIC's smart NIC; HW clock sampled for ns conversion (§8.1).",
+    ),
+    "connectx-6-vf": NicPart(
+        name="Mellanox ConnectX-6 (SR-IOV VF)",
+        rate_bps=100e9,
+        tx=TxNicModel(rate_bps=100e9, pull_delay_ns=1100.0, pull_jitter=0.22),
+        rx_stamper=SampledClockStamper(jitter_ns=14.5, sample_error_ns=25.0),
+        notes="A virtual function of a shared port; pair with SharedPort.",
+    ),
+    "e810": NicPart(
+        name="Intel E810",
+        rate_bps=100e9,
+        tx=TxNicModel(rate_bps=100e9, pull_delay_ns=700.0, pull_jitter=0.25),
+        rx_stamper=RealtimeHWStamper(jitter_ns=2.3, resolution_ns=1.0),
+        notes="The local recorder: real-time hardware timestamps (§8.1).",
+    ),
+}
+
+#: Switch parts (the models live in repro.net.switch; indexed here by name).
+SWITCH_CATALOG: dict[str, SwitchModel] = {
+    "tofino2": TOFINO2,
+    "cisco-5700": CISCO_5700,
+}
+
+
+def nic(name: str) -> NicPart:
+    """Look up a NIC part by catalog key."""
+    try:
+        return NIC_CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown NIC {name!r}; catalog: {sorted(NIC_CATALOG)}"
+        ) from None
+
+
+def switch(name: str) -> SwitchModel:
+    """Look up a switch model by catalog key."""
+    try:
+        return SWITCH_CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown switch {name!r}; catalog: {sorted(SWITCH_CATALOG)}"
+        ) from None

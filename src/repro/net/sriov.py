@@ -1,0 +1,129 @@
+"""SR-IOV shared-NIC model: virtual functions contending for one port.
+
+Most FABRIC NICs are "100 Gbps SR-IOV Virtual Functions shared NIC"
+(Section 9): several tenants' VFs multiplex onto one physical port.  The
+consequences the paper measures are:
+
+* under light background load the VF behaves almost like the physical
+  port ("the shared NIC could use all the bandwidth of the physical
+  hardware", Section 8.1);
+* under heavy co-tenant load, foreground frames are delayed by the
+  interleaved background frames' wire time, IAT consistency collapses by
+  an order of magnitude, and the finite VF queue produces the paper's
+  first observed **drops** (Section 7.1).
+
+The model merges foreground and background frame streams by ready time,
+serves the merged stream through the physical port's exact FIFO, and
+extracts the foreground departures.  Finite VF queueing (for the drop
+regime) applies tail drop on the foreground stream only, approximating a
+per-VF ring in front of the shared scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .pktarray import PacketArray
+from .queueing import fifo_departures, fifo_tail_drop
+from .units import wire_time_ns
+
+__all__ = ["SharedPort", "SharedPortResult"]
+
+
+@dataclass(frozen=True)
+class SharedPortResult:
+    """Foreground outcome of traversing a shared port."""
+
+    batch: PacketArray
+    n_dropped: int
+    background_load: float
+
+
+@dataclass(frozen=True)
+class SharedPort:
+    """One physical port multiplexing a foreground VF with background traffic.
+
+    Parameters
+    ----------
+    rate_bps:
+        Physical port line rate.
+    vf_queue_packets:
+        Foreground VF ring capacity; ``None`` means effectively infinite
+        (the uncontended regimes, where the closed-form FIFO applies).
+    overhead_bytes:
+        Per-frame wire overhead.
+    """
+
+    rate_bps: float
+    vf_queue_packets: int | None = None
+    overhead_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        if self.vf_queue_packets is not None and self.vf_queue_packets < 1:
+            raise ValueError("vf_queue_packets must be >= 1 when set")
+
+    def traverse(
+        self,
+        foreground: PacketArray,
+        background: PacketArray | None = None,
+    ) -> SharedPortResult:
+        """Serve foreground (and optional background) frames through the port.
+
+        Background frames consume wire time but are discarded from the
+        output; only the foreground batch's departure times are returned.
+        """
+        if background is None or len(background) == 0:
+            times = fifo_departures(
+                foreground.times_ns, self._service(foreground.sizes)
+            )
+            return SharedPortResult(foreground.with_times(times), 0, 0.0)
+
+        merged, source = PacketArray.merge([foreground, background])
+        service = self._service(merged.sizes)
+        fg_mask = source == 0
+
+        if self.vf_queue_packets is None:
+            done = fifo_departures(merged.times_ns, service)
+            out = foreground.with_times(done[fg_mask])
+            return SharedPortResult(out, 0, self._bg_load(background))
+
+        # Finite VF ring: exact tail-drop semantics over the merged stream,
+        # but only foreground packets can be dropped — the background
+        # tenants have their own rings, modeled as always-accepted load.
+        result = fifo_tail_drop(merged.times_ns, service, self.vf_queue_packets + self._bg_allowance(background))
+        accepted_fg = result.accepted & fg_mask
+        # Departure times of accepted packets, filtered to foreground.
+        acc_positions = np.flatnonzero(result.accepted)
+        fg_in_accepted = fg_mask[acc_positions]
+        fg_done = result.done_ns[fg_in_accepted]
+
+        kept = foreground.select(accepted_fg[fg_mask])
+        out = kept.with_times(fg_done)
+        n_dropped = len(foreground) - len(kept)
+        return SharedPortResult(out, n_dropped, self._bg_load(background))
+
+    def _service(self, sizes: np.ndarray) -> np.ndarray:
+        return wire_time_ns(sizes, self.rate_bps, overhead_bytes=self.overhead_bytes)
+
+    def _bg_load(self, background: PacketArray) -> float:
+        if len(background) < 2:
+            return 0.0
+        span = float(background.times_ns[-1] - background.times_ns[0])
+        if span <= 0:
+            return np.inf
+        return float(self._service(background.sizes).sum()) / span
+
+    def _bg_allowance(self, background: PacketArray) -> int:
+        """Extra queue slots representing the background tenants' rings.
+
+        The shared scheduler's queue holds everyone's in-flight frames;
+        granting the background its proportional share keeps the
+        foreground's effective ring at ``vf_queue_packets``.
+        """
+        if len(background) == 0:
+            return 0
+        return self.vf_queue_packets

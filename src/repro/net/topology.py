@@ -1,0 +1,94 @@
+"""Topology graph: nodes, ports, links, and path assembly.
+
+Testbeds (Section 6's linear generator→replayer→recorder chain through a
+switch, Section 6.2's dual-replayer fan-in, FABRIC's L2Bridge) are built
+as a :mod:`networkx` directed multigraph whose edges carry
+:class:`~repro.net.link.Link` models and whose nodes carry a role.  The
+topology is *descriptive*: testbed drivers look paths up here and compose
+the corresponding vectorized pipeline stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from .link import Link
+
+__all__ = ["NodeRole", "Topology"]
+
+
+class NodeRole:
+    """Role constants for topology nodes."""
+
+    GENERATOR = "generator"
+    REPLAYER = "replayer"
+    RECORDER = "recorder"
+    SWITCH = "switch"
+    NOISE = "noise"
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One traversed edge of a path."""
+
+    src: str
+    dst: str
+    link: Link
+
+
+class Topology:
+    """A directed multigraph of simulation nodes joined by links."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.graph = nx.MultiDiGraph(name=name)
+
+    # ------------------------------------------------------------------
+    def add_node(self, name: str, role: str, **attrs) -> None:
+        """Register a node under a role (see :class:`NodeRole`)."""
+        if name in self.graph:
+            raise ValueError(f"node {name!r} already exists")
+        self.graph.add_node(name, role=role, **attrs)
+
+    def add_link(self, src: str, dst: str, link: Link, *, bidirectional: bool = True) -> None:
+        """Join two registered nodes with a link model."""
+        for n in (src, dst):
+            if n not in self.graph:
+                raise KeyError(f"unknown node {n!r}")
+        self.graph.add_edge(src, dst, link=link)
+        if bidirectional:
+            self.graph.add_edge(dst, src, link=link)
+
+    # ------------------------------------------------------------------
+    def role_of(self, name: str) -> str:
+        """The registered role of a node."""
+        return self.graph.nodes[name]["role"]
+
+    def nodes_with_role(self, role: str) -> list[str]:
+        """All node names carrying ``role``, in insertion order."""
+        return [n for n, d in self.graph.nodes(data=True) if d["role"] == role]
+
+    def path(self, src: str, dst: str) -> list[Hop]:
+        """Shortest hop path between two nodes, as traversable Hops.
+
+        Raises ``networkx.NetworkXNoPath`` when disconnected.
+        """
+        names = nx.shortest_path(self.graph, src, dst)
+        hops: list[Hop] = []
+        for a, b in zip(names[:-1], names[1:]):
+            # Multi-edges: take the first registered link.
+            data = min(self.graph[a][b].values(), key=lambda d: id(d))
+            hops.append(Hop(a, b, data["link"]))
+        return hops
+
+    def degree_report(self) -> dict[str, int]:
+        """Node-name → total degree, for topology sanity checks."""
+        return {n: d for n, d in self.graph.degree()}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Topology({self.name!r}, {self.graph.number_of_nodes()} nodes, "
+            f"{self.graph.number_of_edges()} links)"
+        )

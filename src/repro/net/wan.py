@@ -1,0 +1,96 @@
+"""Wide-area path segments for inter-site topologies.
+
+FABRIC is intercontinental (33 sites); the paper evaluates a single site
+and leaves "more varied environments" to future work (Section 10).  This
+model supplies the missing piece: a WAN segment with long propagation,
+heavy-tailed queueing jitter from cross traffic at intermediate hops, and
+— unlike every LAN element in the simulator — genuine *in-flight
+reordering* when packets take parallel paths (ECMP), which is how a WAN
+makes the O metric fire without any replayer misbehaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .pktarray import PacketArray
+
+__all__ = ["WanSegment"]
+
+
+@dataclass(frozen=True)
+class WanSegment:
+    """One wide-area hop between sites.
+
+    Parameters
+    ----------
+    propagation_ns:
+        Base one-way delay (e.g. ~10 ms for a cross-country circuit).
+    jitter_scale_ns:
+        Scale of per-packet queueing jitter at intermediate routers
+        (lognormal; long-tailed like real WAN delay distributions).
+    jitter_sigma:
+        Lognormal shape; 0 disables jitter.
+    ecmp_paths:
+        Number of equal-cost paths.  With more than one, packets hash
+        onto paths with slightly different delays and *may reorder*;
+        with exactly one the segment is FIFO.
+    path_skew_ns:
+        Delay difference between adjacent ECMP paths.
+    """
+
+    propagation_ns: float = 10e6
+    jitter_scale_ns: float = 30_000.0
+    jitter_sigma: float = 0.8
+    ecmp_paths: int = 1
+    path_skew_ns: float = 50_000.0
+
+    def __post_init__(self) -> None:
+        if self.propagation_ns < 0:
+            raise ValueError("propagation_ns must be non-negative")
+        if self.jitter_scale_ns < 0 or self.jitter_sigma < 0:
+            raise ValueError("jitter parameters must be non-negative")
+        if self.ecmp_paths < 1:
+            raise ValueError("ecmp_paths must be >= 1")
+        if self.path_skew_ns < 0:
+            raise ValueError("path_skew_ns must be non-negative")
+
+    @property
+    def can_reorder(self) -> bool:
+        """True when parallel paths make in-flight reordering possible."""
+        return self.ecmp_paths > 1
+
+    def traverse(self, batch: PacketArray, rng: np.random.Generator) -> PacketArray:
+        """Carry a batch across the segment.
+
+        Returns the batch in *arrival order at the far end* — with ECMP,
+        that order may differ from the send order (tags travel with their
+        packets, so downstream analysis sees the reordering).
+        """
+        n = len(batch)
+        if n == 0:
+            return batch
+        delay = np.full(n, self.propagation_ns)
+        if self.jitter_scale_ns > 0 and self.jitter_sigma > 0:
+            delay = delay + self.jitter_scale_ns * rng.lognormal(
+                0.0, self.jitter_sigma, n
+            )
+        if self.ecmp_paths > 1:
+            # Flow-less hash: tags spread across paths deterministically,
+            # so the *same* packet rides the same path in every run — the
+            # run-to-run variation comes only from queueing jitter.
+            path = (batch.tags % self.ecmp_paths).astype(np.float64)
+            delay = delay + path * self.path_skew_ns
+            arrivals = batch.times_ns + delay
+            order = np.argsort(arrivals, kind="stable")
+            return PacketArray(
+                batch.tags[order],
+                batch.sizes[order],
+                arrivals[order],
+                meta=dict(batch.meta),
+            )
+        # Single path: FIFO — jitter defers but never overtakes.
+        arrivals = np.maximum.accumulate(batch.times_ns + delay)
+        return batch.with_times(arrivals)

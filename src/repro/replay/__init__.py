@@ -1,0 +1,68 @@
+"""The Choir application model: record/replay transparent middleboxes.
+
+Structure mirrors Section 4-5 of the paper:
+
+* :mod:`~repro.replay.burst` — forwarding-loop burstification (≤64 pkts);
+* :mod:`~repro.replay.recording` — in-memory recordings with TSC stamps;
+* :mod:`~repro.replay.middlebox` — the transparent forward/record path;
+* :mod:`~repro.replay.replayer` — TSC busy-poll replay scheduling;
+* :mod:`~repro.replay.control` — out-of-band/in-band command sequencing;
+* :mod:`~repro.replay.choir` — the per-node lifecycle facade.
+"""
+
+from .burst import (
+    MAX_BURST,
+    PollLoopCost,
+    burst_bounds,
+    burstify_fixed,
+    burstify_poll_loop,
+)
+from .choir import ChoirNode, ChoirState
+from .control import ChoirCommand, CommandKind, CommandLog, ControlChannel
+from .debug import (
+    Backtrace,
+    NodeTrace,
+    backtrace,
+    find_matches,
+    first_match,
+    match_size_at_least,
+    match_tags,
+    match_time_window,
+)
+from .middlebox import ForwardResult, TransparentMiddlebox
+from .recording import MBUF_BYTES, MIN_BUFFER_BYTES, Recording
+from .replayer import Replayer, ReplayOutcome, ReplayTimingModel
+from .from_capture import recording_from_trial
+from .session import ReplaySession
+
+__all__ = [
+    "MAX_BURST",
+    "PollLoopCost",
+    "burstify_poll_loop",
+    "burstify_fixed",
+    "burst_bounds",
+    "Recording",
+    "MBUF_BYTES",
+    "MIN_BUFFER_BYTES",
+    "TransparentMiddlebox",
+    "ForwardResult",
+    "Replayer",
+    "ReplayOutcome",
+    "ReplayTimingModel",
+    "ControlChannel",
+    "CommandLog",
+    "ChoirCommand",
+    "CommandKind",
+    "ChoirNode",
+    "ChoirState",
+    "backtrace",
+    "Backtrace",
+    "NodeTrace",
+    "find_matches",
+    "first_match",
+    "match_tags",
+    "match_time_window",
+    "match_size_at_least",
+    "ReplaySession",
+    "recording_from_trial",
+]

@@ -1,0 +1,115 @@
+"""Control plane: the out-of-band command channel and replay scheduling.
+
+Section 4: "All middleboxes are joined out-of-band for inter-communication
+and receiving user commands."  The control plane's job in the experiments
+is sequencing — arm recordings, schedule replays at a common future
+instant across replayers — and its only data-plane-relevant property is
+*when* each node learns of a command.  Out-of-band commands pay a small
+control-network latency; in-band commands (the evaluation's
+resource-saving configuration, Section 5/6) ride the experimental path
+and pay its latency instead.
+
+The command layer runs on the discrete-event loop
+(:class:`~repro.net.events.EventLoop`); the bulk packet work stays
+vectorized inside the node models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..net.events import EventLoop
+
+__all__ = ["ControlChannel", "CommandLog", "ChoirCommand", "CommandKind"]
+
+
+class CommandKind(Enum):
+    """The user commands Choir understands."""
+
+    RECORD_START = "record-start"
+    RECORD_STOP = "record-stop"
+    REPLAY_AT = "replay-at"
+    STANDBY = "standby"
+
+
+@dataclass(frozen=True)
+class ChoirCommand:
+    """One user command addressed to a middlebox."""
+
+    kind: CommandKind
+    target: str
+    issue_ns: float
+    # REPLAY_AT carries the future start instant; record commands carry
+    # their effective start/stop times.
+    param_ns: float | None = None
+
+
+@dataclass(frozen=True)
+class ControlChannel:
+    """Delivery model for commands.
+
+    Parameters
+    ----------
+    in_band:
+        True when control shares the experimental path (Section 6's
+        evaluations); False for the dedicated control NIC.
+    latency_ns:
+        One-way command delivery latency.
+    """
+
+    in_band: bool = True
+    latency_ns: float = 150_000.0  # TCP/SSH-scale delivery, 150 µs
+
+    def __post_init__(self) -> None:
+        if self.latency_ns < 0:
+            raise ValueError("latency_ns must be non-negative")
+
+    def delivery_time(self, issue_ns: float) -> float:
+        """When a command issued at ``issue_ns`` reaches its target."""
+        return issue_ns + self.latency_ns
+
+
+@dataclass
+class CommandLog:
+    """Sequenced command delivery over an event loop.
+
+    Drives delivery timing and keeps an auditable log; the per-node packet
+    work is performed by the caller when it consumes :attr:`delivered`.
+    """
+
+    channel: ControlChannel
+    loop: EventLoop = field(default_factory=EventLoop)
+    delivered: list[ChoirCommand] = field(default_factory=list)
+
+    def issue(self, command: ChoirCommand) -> None:
+        """Issue a command; it is logged when the channel delivers it."""
+        self.loop.schedule(
+            self.channel.delivery_time(command.issue_ns),
+            lambda _loop, c=command: self.delivered.append(c),
+            label=f"{command.kind.value}->{command.target}",
+        )
+
+    def schedule_replay(
+        self, targets: list[str], issue_ns: float, start_ns: float
+    ) -> None:
+        """Issue REPLAY_AT to several replayers for a common start instant.
+
+        Raises if the start would land before any target learns of the
+        command — the real tool would miss the epoch.
+        """
+        for t in targets:
+            delivery = self.channel.delivery_time(issue_ns)
+            if start_ns <= delivery:
+                raise ValueError(
+                    f"replay start {start_ns} ns precedes command delivery "
+                    f"to {t!r} at {delivery} ns; schedule further ahead"
+                )
+            self.issue(
+                ChoirCommand(CommandKind.REPLAY_AT, t, issue_ns, start_ns)
+            )
+
+    def run(self) -> list[ChoirCommand]:
+        """Drain the loop; returns commands in delivery order."""
+        self.loop.run()
+        return list(self.delivered)

@@ -1,0 +1,203 @@
+"""Interactive-debugging primitives over recordings and captures.
+
+Section 1 motivates Choir as "a foundation for more interactive debugging
+primitives, such as breakpointing and backtracing".  This module builds
+those two primitives on the data the middleboxes already hold:
+
+* **breakpoints** — predicates over packet batches; a recording can be
+  scanned for the first (or all) matching packets, and a watch can arm a
+  capture to stop at the match (the record-until-event workflow);
+* **backtraces** — given a packet tag, reconstruct its full journey:
+  which replay node emitted it, in which doorbell burst and in-burst
+  position, at what recorded transmit time, and when (or whether) the
+  recorder saw it.  A packet recorded at a middlebox but absent from the
+  capture is localized as lost *downstream* of that node — the evidence
+  the paper's debugging story needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.trial import Trial
+from ..net.pktarray import PacketArray
+from .recording import Recording
+
+__all__ = [
+    "match_tags",
+    "match_time_window",
+    "match_size_at_least",
+    "find_matches",
+    "first_match",
+    "NodeTrace",
+    "Backtrace",
+    "backtrace",
+]
+
+#: A breakpoint predicate: batch -> boolean mask over its packets.
+PacketPredicate = Callable[[PacketArray], np.ndarray]
+
+
+def match_tags(tags) -> PacketPredicate:
+    """Break on specific packet identities."""
+    wanted = np.asarray(tags, dtype=np.int64)
+
+    def predicate(batch: PacketArray) -> np.ndarray:
+        return np.isin(batch.tags, wanted)
+
+    return predicate
+
+
+def match_time_window(start_ns: float, end_ns: float) -> PacketPredicate:
+    """Break on packets timestamped inside ``[start_ns, end_ns]``."""
+    if end_ns < start_ns:
+        raise ValueError("end_ns must be >= start_ns")
+
+    def predicate(batch: PacketArray) -> np.ndarray:
+        return (batch.times_ns >= start_ns) & (batch.times_ns <= end_ns)
+
+    return predicate
+
+
+def match_size_at_least(size_bytes: int) -> PacketPredicate:
+    """Break on frames of at least ``size_bytes`` (e.g. jumbo detection)."""
+
+    def predicate(batch: PacketArray) -> np.ndarray:
+        return batch.sizes >= size_bytes
+
+    return predicate
+
+
+def find_matches(recording: Recording, predicate: PacketPredicate) -> np.ndarray:
+    """All packet indices in a recording matching a breakpoint predicate."""
+    mask = np.asarray(predicate(recording.packets), dtype=bool)
+    if mask.shape[0] != len(recording):
+        raise ValueError("predicate must return one boolean per packet")
+    return np.flatnonzero(mask)
+
+
+def first_match(recording: Recording, predicate: PacketPredicate) -> int | None:
+    """Index of the first matching packet, or None (the breakpoint hit)."""
+    idx = find_matches(recording, predicate)
+    return int(idx[0]) if idx.size else None
+
+
+@dataclass(frozen=True)
+class NodeTrace:
+    """One node's view of a packet."""
+
+    node: str
+    present: bool
+    position: int | None = None
+    burst_id: int | None = None
+    offset_in_burst: int | None = None
+    tx_time_ns: float | None = None
+
+
+@dataclass(frozen=True)
+class Backtrace:
+    """A packet's reconstructed journey across the topology."""
+
+    tag: int
+    node_traces: tuple[NodeTrace, ...]
+    received: bool
+    rx_time_ns: float | None
+    rx_position: int | None
+
+    @property
+    def emitted_by(self) -> str | None:
+        """The replay node that carried the packet, if any."""
+        for t in self.node_traces:
+            if t.present:
+                return t.node
+        return None
+
+    @property
+    def lost_downstream_of(self) -> str | None:
+        """Where the packet vanished: recorded at a node, absent at RX."""
+        if self.received:
+            return None
+        return self.emitted_by
+
+    def latency_ns(self) -> float | None:
+        """Recorded-transmit to recorder-receive latency, when both exist.
+
+        Note: meaningful only when the recording and the capture share a
+        clock epoch (same-run analysis); cross-run backtraces should
+        compare positions instead.
+        """
+        for t in self.node_traces:
+            if t.present and t.tx_time_ns is not None and self.rx_time_ns is not None:
+                return self.rx_time_ns - t.tx_time_ns
+        return None
+
+    def render(self) -> str:
+        """Human-readable trace (the debugger's print form)."""
+        lines = [f"backtrace for tag {self.tag:#x}:"]
+        for t in self.node_traces:
+            if not t.present:
+                lines.append(f"  {t.node}: not seen")
+                continue
+            lines.append(
+                f"  {t.node}: position {t.position}, burst {t.burst_id}"
+                f" (+{t.offset_in_burst}), tx @ {t.tx_time_ns:.0f} ns"
+            )
+        if self.received:
+            lines.append(
+                f"  recorder: position {self.rx_position}, rx @ {self.rx_time_ns:.0f} ns"
+            )
+        else:
+            origin = self.lost_downstream_of
+            where = f"downstream of {origin}" if origin else "before any recording point"
+            lines.append(f"  recorder: MISSING — lost {where}")
+        return "\n".join(lines)
+
+
+def backtrace(
+    tag: int,
+    capture: Trial,
+    recordings: dict[str, Recording],
+) -> Backtrace:
+    """Reconstruct one packet's journey from node recordings and a capture.
+
+    Parameters
+    ----------
+    tag:
+        The packed Choir tag (see :mod:`repro.analysis.tagging`).
+    capture:
+        The recorder-side trial for the run under investigation.
+    recordings:
+        Node name → that node's armed :class:`Recording`.
+    """
+    traces = []
+    for node, rec in recordings.items():
+        pos = np.flatnonzero(rec.packets.tags == tag)
+        if pos.size == 0:
+            traces.append(NodeTrace(node=node, present=False))
+            continue
+        p = int(pos[0])
+        burst = int(rec.burst_ids[p])
+        first_of_burst = int(np.searchsorted(rec.burst_ids, burst, side="left"))
+        traces.append(
+            NodeTrace(
+                node=node,
+                present=True,
+                position=p,
+                burst_id=burst,
+                offset_in_burst=p - first_of_burst,
+                tx_time_ns=float(rec.packets.times_ns[p]),
+            )
+        )
+
+    rx_pos = np.flatnonzero(capture.tags == tag)
+    received = rx_pos.size > 0
+    return Backtrace(
+        tag=int(tag),
+        node_traces=tuple(traces),
+        received=received,
+        rx_time_ns=float(capture.times_ns[rx_pos[0]]) if received else None,
+        rx_position=int(rx_pos[0]) if received else None,
+    )

@@ -1,0 +1,100 @@
+"""Build replayable recordings from external captures.
+
+Choir records its own forwarded traffic; a downstream user often has a
+*capture* instead (a pcap from production, a trace from another tool) and
+wants to ask "how consistently would testbed X replay this?".  This
+module bridges the two: it reconstructs a :class:`Recording` from any
+:class:`~repro.core.trial.Trial`, re-deriving the burst structure either
+from the wire gaps (a capture of DPDK traffic shows its bursts) or by
+simulating the forwarding loop's pickup pattern over the capture's
+timestamps.
+
+The reconstructed recording replays through the standard
+:class:`~repro.replay.replayer.Replayer` / testbed machinery unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.tracestats import detect_bursts
+from ..core.trial import Trial
+from ..net.pktarray import PacketArray
+from ..replay.burst import PollLoopCost, burstify_poll_loop
+from ..timing.tsc import TSC
+from .recording import MIN_BUFFER_BYTES, Recording
+
+__all__ = ["recording_from_trial"]
+
+
+def recording_from_trial(
+    trial: Trial,
+    *,
+    packet_bytes: int = 1400,
+    sizes: np.ndarray | None = None,
+    tsc: TSC | None = None,
+    burst_mode: str = "gaps",
+    gap_threshold_ns: float | None = None,
+    loop_cost: PollLoopCost | None = None,
+    buffer_bytes: int = MIN_BUFFER_BYTES,
+) -> Recording:
+    """Reconstruct a replayable recording from a capture.
+
+    Parameters
+    ----------
+    trial:
+        The capture (tags + receive timestamps).
+    packet_bytes / sizes:
+        Frame sizes: a scalar for fixed-size traffic or a per-packet array
+        (captures exported by :mod:`repro.analysis.pcap` are fixed-size;
+        real pcaps carry sizes the caller can pass through).
+    tsc:
+        The TSC model to stamp bursts with (defaults to a stock counter).
+    burst_mode:
+        ``"gaps"`` recovers bursts from wire spacing via
+        :func:`~repro.analysis.tracestats.detect_bursts` — right when the
+        capture *is* burst-structured traffic.  ``"loop"`` simulates the
+        forwarding loop's pickup over the capture timestamps — right when
+        the capture is smooth traffic that a Choir middlebox would
+        burstify on ingest.
+    gap_threshold_ns:
+        Burst-detection threshold for ``"gaps"`` (default: 3x median gap).
+    loop_cost:
+        Loop model for ``"loop"`` mode.
+    buffer_bytes:
+        Replay buffer budget; long captures truncate like real recordings.
+    """
+    if trial.is_empty:
+        raise ValueError("cannot build a recording from an empty capture")
+
+    if sizes is None:
+        sizes = np.full(len(trial), packet_bytes, dtype=np.int64)
+    else:
+        sizes = np.asarray(sizes, dtype=np.int64)
+        if sizes.shape[0] != len(trial):
+            raise ValueError("sizes must have one entry per packet")
+
+    if burst_mode == "gaps":
+        if gap_threshold_ns is None:
+            gaps = trial.iats_ns()[1:]
+            med = float(np.median(gaps)) if gaps.size else 1.0
+            gap_threshold_ns = max(3.0 * med, 1.0)
+        burst_ids = detect_bursts(trial, gap_threshold_ns)
+    elif burst_mode == "loop":
+        burst_ids = burstify_poll_loop(
+            trial.times_ns, loop_cost if loop_cost is not None else PollLoopCost()
+        )
+    else:
+        raise ValueError(f"burst_mode must be 'gaps' or 'loop', got {burst_mode!r}")
+
+    packets = PacketArray(
+        trial.tags, sizes, trial.times_ns, meta={"source": "capture", **trial.meta}
+    )
+    return Recording.capture(
+        packets,
+        burst_ids,
+        trial.times_ns,
+        tsc if tsc is not None else TSC(),
+        buffer_bytes=buffer_bytes,
+        meta={"from_capture": trial.label or True},
+    )

@@ -1,0 +1,117 @@
+"""Scripted experiment sessions: the control plane driving real nodes.
+
+:class:`~repro.replay.control.CommandLog` sequences command delivery;
+this module closes the loop by executing the delivered commands against
+:class:`~repro.replay.choir.ChoirNode` instances — the programmatic
+equivalent of the artifact notebook's "execute commands that will record
+and run replays" step, with the paper's operational constraints enforced:
+
+* a replay must be scheduled far enough ahead that every replayer learns
+  of it before the epoch (otherwise the tool misses the start);
+* all replayers of one run share a single scheduled epoch (the Figure-1
+  synchronization model) — each node still starts per *its own clock*;
+* commands are only executed once the channel delivers them, so an
+  out-of-band channel's latency is visible in the session timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..net.pktarray import PacketArray
+from .choir import ChoirNode
+from .control import ChoirCommand, CommandKind, CommandLog, ControlChannel
+from .replayer import ReplayOutcome
+
+__all__ = ["ReplaySession"]
+
+
+@dataclass
+class ReplaySession:
+    """One operator session over a set of Choir nodes.
+
+    Parameters
+    ----------
+    nodes:
+        The replay nodes, in substream order.
+    channel:
+        Command-delivery model (in-band by default, as the evaluations).
+    rng:
+        Randomness source shared with the nodes' packet operations.
+    """
+
+    nodes: list[ChoirNode]
+    rng: np.random.Generator
+    channel: ControlChannel = field(default_factory=ControlChannel)
+    log: CommandLog = field(init=False)
+    now_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("a session needs at least one node")
+        names = [n.name for n in self.nodes]
+        if len(set(names)) != len(names):
+            raise ValueError("node names must be unique")
+        self.log = CommandLog(channel=self.channel)
+        self._by_name = {n.name: n for n in self.nodes}
+
+    # ------------------------------------------------------------------
+    def record_all(self, substreams: list[PacketArray]) -> None:
+        """Issue record commands and capture one substream per node."""
+        if len(substreams) != len(self.nodes):
+            raise ValueError(
+                f"{len(self.nodes)} nodes need {len(self.nodes)} substreams, "
+                f"got {len(substreams)}"
+            )
+        for node, stream in zip(self.nodes, substreams):
+            self.log.issue(
+                ChoirCommand(CommandKind.RECORD_START, node.name, self.now_ns)
+            )
+            node.record(stream, self.rng)
+            stop_at = self.now_ns + (
+                float(stream.times_ns[-1] - stream.times_ns[0]) if len(stream) else 0.0
+            )
+            self.log.issue(
+                ChoirCommand(CommandKind.RECORD_STOP, node.name, stop_at)
+            )
+            self.now_ns = max(self.now_ns, stop_at)
+
+    def replay_all(self, start_ns: float) -> list[ReplayOutcome]:
+        """Schedule one replay epoch across every node and execute it.
+
+        Raises (via the command log) when ``start_ns`` precedes command
+        delivery to any node — the session refuses to schedule a replay
+        the tool would miss.
+        """
+        self.log.schedule_replay(
+            [n.name for n in self.nodes], issue_ns=self.now_ns, start_ns=start_ns
+        )
+        delivered = self.log.run()
+        outcomes = []
+        for cmd in delivered:
+            if cmd.kind is not CommandKind.REPLAY_AT:
+                continue
+            if cmd.param_ns != start_ns:
+                continue  # an epoch from a previous replay_all
+            node = self._by_name[cmd.target]
+            outcomes.append(node.replay(cmd.param_ns, self.rng))
+        self.now_ns = max(
+            [self.now_ns]
+            + [float(o.egress.times_ns[-1]) for o in outcomes if len(o)]
+        )
+        return outcomes
+
+    def standby_all(self) -> None:
+        """Drop every node back to transparent standby."""
+        for node in self.nodes:
+            self.log.issue(ChoirCommand(CommandKind.STANDBY, node.name, self.now_ns))
+        self.log.run()  # deliver before acting, like every other command
+        for node in self.nodes:
+            node.standby()
+
+    @property
+    def command_history(self) -> list[ChoirCommand]:
+        """Commands delivered so far, in delivery order."""
+        return list(self.log.delivered)

@@ -1,0 +1,192 @@
+"""The testbed runner: record once, replay N times, capture each run.
+
+This is the simulation equivalent of the paper's evaluation protocol
+(Sections 6-7):
+
+1. the generator produces the CBR stream (split across replayers in the
+   Figure-1 parallel topologies);
+2. each Choir node forwards and records its substream once;
+3. for every run, the PTP domain re-synchronizes, every node replays its
+   recording toward one common scheduled instant, the substreams merge at
+   the switch, traverse the (possibly shared) recorder port, and the
+   recorder's timestamping hardware produces the capture;
+4. captures are aligned to the run's scheduled start and returned as
+   :class:`~repro.core.trial.Trial` objects for the Section-3 analysis.
+
+Each run draws fresh per-run imperfections (start latency, frequency
+error, stalls, clock steps, background realization) from a seeded
+generator, so a series is exactly reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.trial import Trial
+from ..generators.cbr import CBRGenerator
+from ..generators.splitter import split_by_port
+from ..net.link import Link
+from ..net.pktarray import PacketArray
+from ..net.sriov import SharedPort
+from ..replay.choir import ChoirNode
+from ..timing.clock import SystemClock
+from ..timing.hwstamp import RealtimeHWStamper
+from ..timing.ptp import PTPDomain
+from .profiles import EnvironmentProfile
+
+__all__ = ["Testbed", "RunArtifacts"]
+
+#: Scheduled replay start used for every run; runs are simulated
+#: independently, so a common virtual epoch keeps alignment trivial.
+REPLAY_EPOCH_NS = 1e9
+
+
+@dataclass(frozen=True)
+class RunArtifacts:
+    """Diagnostics of one simulated run (beyond the Trial itself)."""
+
+    trial: Trial
+    n_dropped: int
+    n_stalls: int
+    freq_errors_ppm: tuple[float, ...]
+    start_offsets_ns: tuple[float, ...]
+
+
+@dataclass
+class Testbed:
+    """One environment, instantiated and ready to run trial series."""
+
+    # Not a pytest test class despite the name (it gets imported into
+    # test modules); no annotation, so dataclass ignores it.
+    __test__ = False
+
+    profile: EnvironmentProfile
+    seed: int = 0
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------------
+    def _build_nodes(self) -> list[ChoirNode]:
+        p = self.profile
+        return [
+            ChoirNode(
+                name=f"replayer-{k}",
+                tx_nic=p.tx_nic,
+                loop_cost=p.loop_cost,
+                replay_loop_cost=p.replay_loop_cost,
+                timing=p.replay_timing,
+                clock=SystemClock(),
+                buffer_bytes=p.buffer_bytes,
+            )
+            for k in range(p.n_replayers)
+        ]
+
+    def _record_all(
+        self, nodes: list[ChoirNode], rng: np.random.Generator
+    ) -> None:
+        """Generate the stream and record it on every node (phase 1-2)."""
+        p = self.profile
+        generator = p.workload if p.workload is not None else CBRGenerator(
+            rate_bps=p.rate_bps, packet_bytes=p.packet_bytes
+        )
+        stream = generator.generate(p.duration_ns, rng)
+        substreams = split_by_port(stream, p.n_replayers)
+        ingress_link = Link(rate_bps=p.tx_nic.rate_bps, propagation_ns=500.0)
+        for node, sub in zip(nodes, substreams):
+            node.record(ingress_link.traverse(sub), rng)
+
+    # ------------------------------------------------------------------
+    def run_one(
+        self, nodes: list[ChoirNode], ptp: PTPDomain, rng: np.random.Generator,
+        label: str = "",
+    ) -> RunArtifacts:
+        """Phase 3-4 for a single run."""
+        p = self.profile
+        ptp.synchronize_all()
+
+        outcomes = [node.replay(REPLAY_EPOCH_NS, rng) for node in nodes]
+
+        if p.switch is not None:
+            merged = p.switch.forward_merged([o.egress for o in outcomes], rng)
+        else:
+            merged, _ = PacketArray.merge([o.egress for o in outcomes])
+
+        if p.wan is not None:
+            merged = p.wan.traverse(merged, rng)
+
+        n_dropped = 0
+        if p.background is not None:
+            bg_gen = p.background.generator
+            # Background spans the replay window with margin on both sides.
+            t0 = float(merged.times_ns[0]) - 1e6
+            span = float(merged.times_ns[-1]) - t0 + 2e6
+            background = bg_gen.generate(span, rng, start_ns=t0)
+            port = SharedPort(
+                rate_bps=p.shared_port_rate_bps,
+                vf_queue_packets=p.background.vf_queue_packets,
+            )
+            result = port.traverse(merged, background)
+            delivered = result.batch
+            n_dropped = result.n_dropped
+        else:
+            recorder_link = Link(rate_bps=p.shared_port_rate_bps, propagation_ns=500.0)
+            delivered = recorder_link.traverse(merged)
+
+        stamper = p.rx_stamper if p.rx_stamper is not None else RealtimeHWStamper()
+        stamped = stamper.stamp(delivered.times_ns, rng)
+        stamped = p.clock_steps.apply(stamped, p.duration_ns, rng)
+
+        # The recorder's own clock phase (PTP residual of this epoch).
+        recorder_offset = float(rng.normal(0.0, p.ptp.residual_ns))
+        stamped = stamped + recorder_offset
+
+        trial = Trial.from_arrival_events(
+            delivered.tags,
+            stamped - REPLAY_EPOCH_NS,
+            label=label,
+            meta={"environment": p.name, "n_dropped": n_dropped},
+        )
+        return RunArtifacts(
+            trial=trial,
+            n_dropped=n_dropped,
+            n_stalls=sum(o.n_stalls for o in outcomes),
+            freq_errors_ppm=tuple(o.freq_error_ppm for o in outcomes),
+            start_offsets_ns=tuple(
+                o.achieved_start_ns - REPLAY_EPOCH_NS for o in outcomes
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def run_series(
+        self, n_runs: int = 5, *, labels: list[str] | None = None,
+        collect_artifacts: bool = False,
+    ):
+        """Record once, replay ``n_runs`` times; return the trials.
+
+        With ``collect_artifacts=True`` returns ``(trials, artifacts)``.
+        Labels default to the paper's A, B, C, ... convention.
+        """
+        if n_runs < 1:
+            raise ValueError("n_runs must be >= 1")
+        p = self.profile
+        nodes = self._build_nodes()
+        self._record_all(nodes, self._rng)
+
+        ptp = PTPDomain(profile=p.ptp, rng=self._rng)
+        for node in nodes:
+            ptp.followers[node.name] = node.clock
+
+        if labels is None:
+            labels = [chr(ord("A") + i) if i < 26 else f"run{i}" for i in range(n_runs)]
+        artifacts = [
+            self.run_one(nodes, ptp, self._rng, label=labels[i])
+            for i in range(n_runs)
+        ]
+        trials = [a.trial for a in artifacts]
+        if collect_artifacts:
+            return trials, artifacts
+        return trials

@@ -1,0 +1,152 @@
+"""Analytic calibration model: profile knobs → expected metric magnitudes.
+
+The environment profiles' constants were fixed by combining the closed
+forms below with simulation sweeps.  The formulas are first-order
+expectations, good to ~25 % — enough to pick a knob's decade before the
+simulation fine-tunes it, and enough for tests to verify that the shipped
+profiles sit where the derivations say they should.
+
+Notation: ``N`` packets per trial, ``S`` trial span (ns), ``pps = N/S``,
+burst size ``b`` (so ``N/b`` bursts and a ``1/b`` burst-head fraction).
+
+**IAT core (stamper jitter j).**  Within a burst, wire spacing is
+deterministic; each receive timestamp carries independent jitter ``j``.
+An IAT uses two stamps and a delta across two runs uses four, so
+``Δg ~ N(0, 2j)`` and the ±10 ns statistic is ``P(|Δg| ≤ 10) = erf(10 /
+(2j·√2))``.  The core's I contribution is ``N·E|Δg| / 2S`` with
+``E|Δg| = 2j·√(2/π)``.
+
+**Burst-boundary outliers (DMA pull jitter).**  A burst head's gap spans
+two independent pull latencies per run; with lognormal pulls of median
+``m`` and sigma ``σ``, the per-boundary delta has mean magnitude
+``≈ 2·m·σ·√(2/π)·√2`` for small σ.  Contribution: that times ``N/b / 2S``.
+
+**Scheduler stalls.**  A stall of mean ``s`` displaces one burst: the gap
+into it grows by ``s`` and the gap out shrinks, so each stall adds
+``≈ 2s`` of IAT deviation (plus catch-up chaining when ``s`` exceeds the
+loop slack — the simulation captures that; the closed form here is the
+floor).  I contribution: ``2·p·(N/b)·s·2 / 2S`` for stall probability
+``p`` counting both runs; L contribution ``≈ 2·p·s / S`` per packet.
+
+**Frequency error.**  A per-run ppm error ``ε`` stretches the schedule;
+between two runs the latency delta grows linearly to ``Δε·1e-6·S``,
+averaging half that, so ``L ≈ E|Δε|·1e-6 / 2`` with
+``E|Δε| = σ_ppm·√2·√(2/π)`` — duration-invariant.
+
+**Clock steps.**  A step of magnitude ``d`` at a uniform point shifts the
+tail of one capture: ``E[L] ≈ λ·(S/1e9)·E|d| / (2S)`` per run pair (two
+runs' steps add) — so step-driven L scales as ``1/S`` for fixed step size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .profiles import EnvironmentProfile
+
+__all__ = ["ExpectedMetrics", "expected_metrics", "equilibrium_burst_size"]
+
+
+def equilibrium_burst_size(profile: EnvironmentProfile) -> float:
+    """Steady-state forwarding-loop burst size for the profile's workload.
+
+    The loop accumulates arrivals while processing the previous burst:
+    ``b = iteration / (iat - per_packet)``, capped at 64 (Choir's limit)
+    and floored at 1.  Valid while ``per_packet < iat`` (otherwise the
+    loop cannot keep up and bursts pin at the cap).
+    """
+    iat = 1e9 / (
+        profile.rate_bps / (profile.packet_bytes * 8) / profile.n_replayers
+    )
+    lc = profile.loop_cost
+    if lc.per_packet_ns >= iat:
+        return 64.0
+    return float(min(64.0, max(1.0, lc.iteration_ns / (iat - lc.per_packet_ns))))
+
+
+@dataclass(frozen=True)
+class ExpectedMetrics:
+    """First-order expectations for one environment's metric components."""
+
+    burst_size: float
+    pct_iat_within_10ns: float
+    i_core: float
+    i_boundary: float
+    i_stall: float
+    l_freq: float
+    l_stall: float
+    l_steps: float
+
+    @property
+    def i_total(self) -> float:
+        """Expected I (sum of the modeled contributions)."""
+        return self.i_core + self.i_boundary + self.i_stall
+
+    @property
+    def l_total(self) -> float:
+        """Expected L (sum of the modeled contributions)."""
+        return self.l_freq + self.l_stall + self.l_steps
+
+
+def expected_metrics(profile: EnvironmentProfile) -> ExpectedMetrics:
+    """Evaluate the calibration formulas for a profile.
+
+    Only the quiet-path mechanisms are closed-form; shared-port contention
+    and the dual-replayer interleave are simulation-only.
+    """
+    n_pkts = profile.rate_bps / (profile.packet_bytes * 8) * (
+        profile.duration_ns / 1e9
+    )
+    span = profile.duration_ns
+    b = equilibrium_burst_size(profile)
+
+    # --- stamper jitter -> core ---------------------------------------
+    # Switch arbitration jitter is excluded: it is one-sided and the
+    # egress FIFO's monotonicity constraint makes it strongly correlated
+    # between neighbouring packets, so it largely cancels in the gaps.
+    j = getattr(profile.rx_stamper, "jitter_ns", 0.0) if profile.rx_stamper else 0.0
+    dg_sigma = 2.0 * j
+    if dg_sigma > 0:
+        pct10 = math.erf(10.0 / (dg_sigma * math.sqrt(2.0))) * 100.0
+        e_dg = dg_sigma * math.sqrt(2.0 / math.pi)
+    else:
+        pct10, e_dg = 100.0, 0.0
+    interior = 1.0 - 1.0 / b
+    i_core = n_pkts * interior * e_dg / (2.0 * span)
+    pct10_total = interior * pct10
+
+    # --- pull jitter -> boundaries ------------------------------------
+    tx = profile.tx_nic
+    pull_sd = tx.pull_delay_ns * tx.pull_jitter  # small-sigma lognormal std
+    e_boundary = 2.0 * pull_sd * math.sqrt(2.0 / math.pi)
+    i_boundary = (n_pkts / b) * e_boundary / (2.0 * span)
+
+    # --- stalls ---------------------------------------------------------
+    t = profile.replay_timing
+    stall_sum = 2.0 * t.stall_prob * (n_pkts / b) * (2.0 * t.stall_scale_ns)
+    # 0.6: empirical correction from simulation sweeps — overlapping and
+    # chained stalls partially absorb each other's gap deviations.
+    i_stall = 0.6 * stall_sum / (2.0 * span)
+    l_stall = 2.0 * t.stall_prob * t.stall_scale_ns / span * 1.0
+
+    # --- frequency error -------------------------------------------------
+    e_dppm = t.freq_error_ppm * math.sqrt(2.0) * math.sqrt(2.0 / math.pi)
+    l_freq = e_dppm * 1e-6 / 2.0
+
+    # --- clock steps ------------------------------------------------------
+    cs = profile.clock_steps
+    e_step = cs.scale_ns * math.sqrt(2.0 / math.pi)
+    steps_per_run = cs.rate_per_sec * span / 1e9
+    l_steps = 2.0 * steps_per_run * e_step / (2.0 * span)
+
+    return ExpectedMetrics(
+        burst_size=b,
+        pct_iat_within_10ns=pct10_total,
+        i_core=i_core,
+        i_boundary=i_boundary,
+        i_stall=i_stall,
+        l_freq=l_freq,
+        l_stall=l_stall,
+        l_steps=l_steps,
+    )

@@ -1,0 +1,133 @@
+"""The university (local, bare-metal) testbed of Section 6.
+
+Hardware being modeled: Mellanox ConnectX-5 NICs on generator and
+replayers, one port of an Intel E810 on the recorder (real-time HW
+timestamps), an AS9516-32D Tofino2 switch, applications in the host OS
+(no virtualization), PTP grandmastered by the generator's stratum-1-NTP
+system clock, commands in-band.
+
+Calibration targets (paper, Sections 6.1-6.2 and Table 2):
+
+* single replayer, 40 Gbps / 1400 B / 3.52 Mpps, 0.3 s (1,055,648 pkts):
+  U = O = 0; ~92.2-92.5 % of IAT deltas within ±10 ns; I ≈ 0.029;
+  L ≈ 4.3e-6; κ ≈ 0.985.
+* dual replayers (20 Gbps each): reordering appears — ~50 % of packets in
+  the edit script, whole bursts displaced by thousands of positions
+  (Table 1); O ≈ 0.026, I ≈ 0.20, L ≈ 9.7e-3, κ ≈ 0.928.
+"""
+
+from __future__ import annotations
+
+from ..net.nicmodel import TxNicModel
+from ..net.switch import TOFINO2
+from ..replay.burst import PollLoopCost
+from ..replay.replayer import ReplayTimingModel
+from ..timing.hwstamp import RealtimeHWStamper
+from ..timing.ptp import LOCAL_PTP
+from .profiles import ClockStepModel, EnvironmentProfile
+
+__all__ = ["local_single_replayer", "local_dual_replayer", "local_multi_replayer"]
+
+#: Choir's forwarding-loop cost on the local bare-metal hosts.  The
+#: equilibrium burst size at 40 Gbps (284 ns arrivals) is
+#: iteration/(iat - per_packet) ≈ 18 packets, putting ~94.5 % of packets
+#: in the repeatable intra-burst core — the paper's 92 % cluster.
+LOCAL_LOOP = PollLoopCost(iteration_ns=4500.0, per_packet_ns=40.0)
+
+#: Replay-mode loop on bare metal (TSC spin + TX enqueue only).
+LOCAL_REPLAY_LOOP = PollLoopCost(iteration_ns=800.0, per_packet_ns=20.0)
+
+#: ConnectX-5 transmit path: PCIe DMA pull after the doorbell.
+LOCAL_TX = TxNicModel(rate_bps=100e9, pull_delay_ns=600.0, pull_jitter=0.26)
+
+#: Bare-metal replay scheduling: fine busy-poll, no hypervisor stalls,
+#: TSC frequency calibrated to a few ppm per run.
+LOCAL_TIMING = ReplayTimingModel(
+    poll_granularity_ns=40.0,
+    stall_prob=2e-5,
+    stall_scale_ns=4_000.0,
+    freq_error_ppm=8.0,
+    start_latency_median_ns=2.0e6,  # ~2 ms command-to-first-burst
+    start_latency_sigma=1.0,
+)
+
+#: Intel E810 recorder: real-time hardware timestamps, ns resolution.
+LOCAL_STAMPER = RealtimeHWStamper(jitter_ns=2.3, resolution_ns=1.0)
+
+
+def local_single_replayer(rate_bps: float = 40e9) -> EnvironmentProfile:
+    """Section 6.1: generator → replayer → recorder through the Tofino2."""
+    return EnvironmentProfile(
+        name="local-single",
+        rate_bps=rate_bps,
+        packet_bytes=1400,
+        duration_ns=0.3e9,
+        n_replayers=1,
+        loop_cost=LOCAL_LOOP,
+        replay_loop_cost=LOCAL_REPLAY_LOOP,
+        tx_nic=LOCAL_TX,
+        switch=TOFINO2,
+        rx_stamper=LOCAL_STAMPER,
+        replay_timing=LOCAL_TIMING,
+        ptp=LOCAL_PTP,
+        clock_steps=ClockStepModel(),  # bare metal: no sync steps
+        paper_section="6.1",
+        notes="Local bare-metal linear topology, single replayer.",
+    )
+
+
+def local_dual_replayer(rate_bps: float = 40e9) -> EnvironmentProfile:
+    """Section 6.2: the Figure-1 parallel topology with two replayers.
+
+    Total traffic stays at ``rate_bps`` (20 Gbps per replayer); the
+    consistency impact comes from per-run *relative* start latencies
+    between the two replay loops, which displace whole bursts of one
+    substream against the other in the merged capture.
+    """
+    return EnvironmentProfile(
+        name="local-dual",
+        rate_bps=rate_bps,
+        packet_bytes=1400,
+        duration_ns=0.3e9,
+        n_replayers=2,
+        loop_cost=LOCAL_LOOP,
+        replay_loop_cost=LOCAL_REPLAY_LOOP,
+        tx_nic=LOCAL_TX,
+        switch=TOFINO2,
+        rx_stamper=LOCAL_STAMPER,
+        replay_timing=LOCAL_TIMING,
+        ptp=LOCAL_PTP,
+        clock_steps=ClockStepModel(),
+        paper_section="6.2",
+        notes="Two parallel replayers merging at the switch (Figure 1).",
+    )
+
+
+def local_multi_replayer(n_replayers: int, rate_bps: float = 40e9) -> EnvironmentProfile:
+    """The Figure-1 topology generalized to ``n`` parallel replay nodes.
+
+    Figure 1 itself sketches *three* replay nodes; the paper evaluates one
+    and two.  This constructor extends the calibrated local environment to
+    arbitrary fan-out (total rate held constant, ``rate/n`` per node) so
+    the parallelism cost of the architecture can be swept — see
+    ``benchmarks/bench_parallel_scaling.py``.
+    """
+    if n_replayers < 1:
+        raise ValueError("n_replayers must be >= 1")
+    return EnvironmentProfile(
+        name=f"local-{n_replayers}x",
+        rate_bps=rate_bps,
+        packet_bytes=1400,
+        duration_ns=0.3e9,
+        n_replayers=n_replayers,
+        loop_cost=LOCAL_LOOP,
+        replay_loop_cost=LOCAL_REPLAY_LOOP,
+        tx_nic=LOCAL_TX,
+        switch=TOFINO2,
+        rx_stamper=LOCAL_STAMPER,
+        replay_timing=LOCAL_TIMING,
+        ptp=LOCAL_PTP,
+        clock_steps=ClockStepModel(),
+        paper_section="Fig. 1 (extension)",
+        notes=f"{n_replayers} parallel replayers merging at the switch.",
+    )

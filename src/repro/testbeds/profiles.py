@@ -1,0 +1,176 @@
+"""Environment profiles: every knob that distinguishes the 9 evaluations.
+
+A profile bundles the mechanistic models (loop costs, NIC TX pull, switch,
+RX timestamping) with the stochastic imperfections (replay stalls, clock
+frequency error, sync steps, background load) that differ between the
+paper's environments.  The numeric constants are **calibrated**, not
+measured: they were tuned (see :mod:`repro.testbeds.calibration`) so the
+simulated environments land on the paper's reported metric magnitudes
+while every mechanism stays physically plausible.  ``DESIGN.md`` records
+the mapping; ``EXPERIMENTS.md`` records paper-vs-measured.
+
+Mechanism → metric cheat sheet (derived in calibration.py):
+
+========================  =============================================
+Knob                       Dominant observable
+========================  =============================================
+``rx jitter``              width of the IAT-delta core (±10 ns %)
+``loop cost``              burst size → fraction of packets in the core
+``tx pull jitter``         burst-boundary IAT outliers (histogram tails)
+``replay stalls``          far IAT outliers → the I ≈ 0.5 regimes
+``freq_error_ppm``         linearly growing latency deltas → L (local)
+``clock steps``            latency-delta spikes → L (FABRIC)
+``start latency``          inter-replayer offsets → O, Table 1 (dual)
+``background + VF queue``  contention delays and drops → U (noisy)
+========================  =============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..generators.tcpnoise import TCPNoiseGenerator
+from ..net.nicmodel import TxNicModel
+from ..net.switch import SwitchModel
+from ..net.wan import WanSegment
+from ..replay.burst import PollLoopCost
+from ..replay.replayer import ReplayTimingModel
+from ..timing.hwstamp import RxTimestamper
+from ..timing.ptp import PTPProfile
+
+__all__ = ["ClockStepModel", "BackgroundLoad", "EnvironmentProfile"]
+
+
+@dataclass(frozen=True)
+class ClockStepModel:
+    """Mid-trial clock step events (``ptp_kvm`` re-sync corrections).
+
+    On FABRIC, the VM's PTP chain occasionally steps the clock during a
+    capture; every packet recorded after the step carries the new phase.
+    ``rate_per_sec`` steps occur per second of capture (Poisson), each
+    stepping by a ``N(0, scale_ns)`` draw.
+    """
+
+    rate_per_sec: float = 0.0
+    scale_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_sec < 0 or self.scale_ns < 0:
+            raise ValueError("step parameters must be non-negative")
+
+    def apply(
+        self, times_ns: np.ndarray, duration_ns: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Add this run's step realization to recorded timestamps."""
+        if self.rate_per_sec == 0 or self.scale_ns == 0 or times_ns.size == 0:
+            return times_ns
+        n_steps = rng.poisson(self.rate_per_sec * duration_ns / 1e9)
+        if n_steps == 0:
+            return times_ns
+        t0 = float(times_ns[0])
+        step_at = np.sort(rng.uniform(t0, t0 + duration_ns, n_steps))
+        step_by = rng.normal(0.0, self.scale_ns, n_steps)
+        offset = np.cumsum(step_by)
+        idx = np.searchsorted(step_at, times_ns, side="right")
+        shifted = times_ns + np.concatenate([[0.0], offset])[idx]
+        # A step back in time cannot reorder already-delivered packets in
+        # the capture file; the recorder writes monotonically.
+        return np.maximum.accumulate(shifted)
+
+
+@dataclass(frozen=True)
+class BackgroundLoad:
+    """Co-tenant traffic sharing the physical NIC (Section 7.1)."""
+
+    generator: TCPNoiseGenerator
+    vf_queue_packets: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.vf_queue_packets is not None and self.vf_queue_packets < 1:
+            raise ValueError("vf_queue_packets must be >= 1 when set")
+
+
+@dataclass(frozen=True)
+class EnvironmentProfile:
+    """Everything needed to run one of the paper's evaluation environments.
+
+    See the module docstring for the knob → observable mapping.
+    """
+
+    name: str
+    # Workload ------------------------------------------------------------
+    rate_bps: float
+    packet_bytes: int = 1400
+    duration_ns: float = 0.3e9
+    n_replayers: int = 1
+    # Node / path models ---------------------------------------------------
+    loop_cost: PollLoopCost = field(default_factory=PollLoopCost)
+    #: Replay-mode loop cost (cheaper than the record loop; see ChoirNode).
+    replay_loop_cost: PollLoopCost | None = None
+    tx_nic: TxNicModel = field(
+        default_factory=lambda: TxNicModel(rate_bps=100e9)
+    )
+    switch: SwitchModel | None = None
+    rx_stamper: RxTimestamper | None = None
+    replay_timing: ReplayTimingModel = field(default_factory=ReplayTimingModel)
+    ptp: PTPProfile = field(default_factory=PTPProfile)
+    clock_steps: ClockStepModel = field(default_factory=ClockStepModel)
+    # Sharing --------------------------------------------------------------
+    background: BackgroundLoad | None = None
+    shared_port_rate_bps: float = 100e9
+    #: Optional wide-area segment between the replayer site and the
+    #: recorder site (inter-site topologies; None = same-site L2Bridge).
+    wan: "WanSegment | None" = None
+    #: Optional workload override: any object with a
+    #: ``generate(duration_ns, rng) -> PacketArray`` method (e.g.
+    #: :class:`~repro.generators.imix.IMIXGenerator`).  ``None`` uses the
+    #: paper's fixed-size CBR stream at ``rate_bps``.
+    workload: object | None = None
+    # Node resources --------------------------------------------------------
+    #: Replay buffer RAM per node (Section 5); the paper-scale captures
+    #: (1.05M packets ≈ 2.3 GB of mbufs) need more than the 1 GB minimum.
+    buffer_bytes: int = 4 << 30
+    # Bookkeeping ----------------------------------------------------------
+    paper_section: str = ""
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        if self.packet_bytes <= 0:
+            raise ValueError("packet_bytes must be positive")
+        if self.duration_ns <= 0:
+            raise ValueError("duration_ns must be positive")
+        if self.n_replayers < 1:
+            raise ValueError("n_replayers must be >= 1")
+
+    def at_duration(self, duration_ns: float) -> "EnvironmentProfile":
+        """The same environment over a shorter/longer capture window.
+
+        Rates, per-packet mechanics, and all noise processes are
+        duration-invariant, so scaling the window preserves the metric
+        expectations (the scaling test verifies this) — except clock-step
+        ``L`` contributions, which scale as ``1/duration`` because a step
+        of fixed physical size is normalized by a smaller span.
+        """
+        return replace(self, duration_ns=float(duration_ns))
+
+    @property
+    def per_replayer_rate_bps(self) -> float:
+        """The rate each replayer carries (Section 6.2: 20 Gbps each)."""
+        return self.rate_bps / self.n_replayers
+
+    def describe(self) -> dict:
+        """Flat summary for reports and experiment logs."""
+        return {
+            "name": self.name,
+            "rate_gbps": self.rate_bps / 1e9,
+            "packet_bytes": self.packet_bytes,
+            "duration_ms": self.duration_ns / 1e6,
+            "n_replayers": self.n_replayers,
+            "switch": self.switch.name if self.switch else "none",
+            "shared": self.background is not None,
+            "paper_section": self.paper_section,
+        }

@@ -1,0 +1,146 @@
+"""JSON (de)serialization of environment profiles.
+
+Custom environments shouldn't require writing Python: an operator
+describing their testbed (the `examples/custom_testbed.py` workflow)
+can keep the profile as a JSON document, version it next to their
+experiment configs, and run it through the CLI
+(``repro simulate --profile my-testbed.json``).
+
+Round-trip contract: ``profile_from_dict(profile_to_dict(p)) == p`` for
+every profile expressible in JSON (enforced by tests across all shipped
+scenarios).  Polymorphic fields — the RX stamper and, in general, any
+model with multiple implementations — carry a ``"type"`` tag resolved
+through an explicit registry; unknown tags and unknown keys fail loudly
+rather than defaulting silently.
+
+The ``workload`` hook (an arbitrary generator object) is the one field
+that does not serialize; profiles carrying one are rejected with a clear
+message, since reconstructing arbitrary objects from JSON would be a
+deserialization hazard as much as a modeling one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from ..generators.tcpnoise import TCPNoiseGenerator
+from ..net.nicmodel import TxNicModel
+from ..net.switch import SwitchModel
+from ..net.wan import WanSegment
+from ..replay.burst import PollLoopCost
+from ..replay.replayer import ReplayTimingModel
+from ..timing.hwstamp import RealtimeHWStamper, SampledClockStamper
+from ..timing.ptp import PTPProfile
+from .profiles import BackgroundLoad, ClockStepModel, EnvironmentProfile
+
+__all__ = ["profile_to_dict", "profile_from_dict", "save_profile", "load_profile"]
+
+#: Polymorphic RX stamper registry: type tag <-> class.
+_STAMPERS = {
+    "realtime-hw": RealtimeHWStamper,
+    "sampled-clock": SampledClockStamper,
+}
+_STAMPER_TAGS = {cls: tag for tag, cls in _STAMPERS.items()}
+
+#: Plain nested dataclasses (single implementation each).
+_PLAIN = {
+    "loop_cost": PollLoopCost,
+    "replay_loop_cost": PollLoopCost,
+    "tx_nic": TxNicModel,
+    "switch": SwitchModel,
+    "replay_timing": ReplayTimingModel,
+    "ptp": PTPProfile,
+    "clock_steps": ClockStepModel,
+    "wan": WanSegment,
+}
+
+
+def _dc_to_dict(obj) -> dict:
+    return {f.name: getattr(obj, f.name) for f in dataclasses.fields(obj)}
+
+
+def _dc_from_dict(cls, data: dict, context: str):
+    valid = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - valid
+    if unknown:
+        raise ValueError(f"{context}: unknown keys {sorted(unknown)}")
+    return cls(**data)
+
+
+def profile_to_dict(profile: EnvironmentProfile) -> dict:
+    """A JSON-ready dict capturing the whole profile."""
+    if profile.workload is not None:
+        raise ValueError(
+            "profiles with a custom `workload` object cannot be serialized; "
+            "express the workload as rate_bps/packet_bytes or build it in code"
+        )
+    out: dict = {}
+    for f in dataclasses.fields(profile):
+        value = getattr(profile, f.name)
+        if value is None or f.name == "workload":
+            continue
+        if f.name == "rx_stamper":
+            out[f.name] = {"type": _STAMPER_TAGS[type(value)], **_dc_to_dict(value)}
+        elif f.name == "background":
+            out[f.name] = {
+                "generator": _dc_to_dict(value.generator),
+                "vf_queue_packets": value.vf_queue_packets,
+            }
+        elif f.name in _PLAIN:
+            out[f.name] = _dc_to_dict(value)
+        else:
+            out[f.name] = value
+    return out
+
+
+def profile_from_dict(data: dict) -> EnvironmentProfile:
+    """Reconstruct a profile from :func:`profile_to_dict` output."""
+    data = dict(data)  # shallow copy; we pop as we go
+    kwargs: dict = {}
+
+    stamper = data.pop("rx_stamper", None)
+    if stamper is not None:
+        stamper = dict(stamper)
+        tag = stamper.pop("type", None)
+        if tag not in _STAMPERS:
+            raise ValueError(
+                f"rx_stamper: unknown type {tag!r}; known: {sorted(_STAMPERS)}"
+            )
+        kwargs["rx_stamper"] = _dc_from_dict(_STAMPERS[tag], stamper, "rx_stamper")
+
+    background = data.pop("background", None)
+    if background is not None:
+        gen = _dc_from_dict(
+            TCPNoiseGenerator, dict(background.get("generator", {})),
+            "background.generator",
+        )
+        kwargs["background"] = BackgroundLoad(
+            generator=gen,
+            vf_queue_packets=background.get("vf_queue_packets"),
+        )
+
+    for name, cls in _PLAIN.items():
+        nested = data.pop(name, None)
+        if nested is not None:
+            kwargs[name] = _dc_from_dict(cls, dict(nested), name)
+
+    valid = {f.name for f in dataclasses.fields(EnvironmentProfile)}
+    unknown = set(data) - valid
+    if unknown:
+        raise ValueError(f"profile: unknown keys {sorted(unknown)}")
+    kwargs.update(data)
+    return EnvironmentProfile(**kwargs)
+
+
+def save_profile(profile: EnvironmentProfile, path: str | Path) -> Path:
+    """Write a profile as pretty-printed JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(profile_to_dict(profile), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_profile(path: str | Path) -> EnvironmentProfile:
+    """Load a profile JSON written by :func:`save_profile` (or by hand)."""
+    return profile_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,61 @@
+"""Network Time Protocol (NTP) model.
+
+The local testbed's generator synchronizes its system clock to a local
+stratum-1 NTP server (Section 6) and then serves as PTP grandmaster.  NTP
+accuracy is orders of magnitude coarser than PTP; what matters for the
+experiments is only the grandmaster's absolute error floor, so the model
+is deliberately simple: per stratum hop, an offset-estimation error scaled
+by the path's round-trip jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .clock import SystemClock
+
+__all__ = ["NTPServer", "ntp_discipline"]
+
+
+@dataclass(frozen=True)
+class NTPServer:
+    """An NTP time source at a given stratum.
+
+    Parameters
+    ----------
+    stratum:
+        1 is a reference-clock server (GPS/atomic); each hop adds one.
+    base_error_ns:
+        Typical offset error contributed per stratum hop on the path to
+        this server.  A LAN stratum-1 sync lands in the 10s-of-µs range;
+        cross-internet syncs in the ms range.
+    """
+
+    stratum: int = 1
+    base_error_ns: float = 50_000.0  # 50 µs: LAN stratum-1 quality
+
+    def __post_init__(self) -> None:
+        if self.stratum < 1 or self.stratum > 15:
+            raise ValueError("NTP stratum must be in [1, 15]")
+        if self.base_error_ns < 0:
+            raise ValueError("base_error_ns must be non-negative")
+
+    def offset_error_scale_ns(self) -> float:
+        """Std of the offset error a client syncing to this server gets."""
+        return self.base_error_ns * self.stratum
+
+
+def ntp_discipline(
+    clock: SystemClock, server: NTPServer, rng: np.random.Generator
+) -> float:
+    """Discipline ``clock`` against ``server``; returns the applied offset.
+
+    The client's post-sync offset is one draw at the server's error scale.
+    The clock keeps its own drift/wander — NTP only steps the phase here,
+    which is all the downstream experiments observe between syncs.
+    """
+    offset = float(rng.normal(0.0, server.offset_error_scale_ns()))
+    clock.set_offset(offset)
+    return offset

@@ -1,0 +1,81 @@
+"""Time Stamp Counter (TSC) model.
+
+Choir records and schedules replays with the CPU's TSC because it is the
+cheapest monotone time source available to a busy-polling DPDK thread
+(Section 4).  The properties that matter to the replayer — and that this
+model captures — are:
+
+* the counter ticks at a fixed nominal frequency (*constant/invariant*
+  TSC, which the paper notes FABRIC nodes provide);
+* reads are integer cycle counts, so converting a wall-clock replay start
+  time into a cycle target quantizes to the cycle period;
+* a non-invariant TSC (frequency scaling with the core clock) breaks the
+  cycle↔nanosecond conversion — modeled so tests can demonstrate why
+  Choir requires invariance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TSC"]
+
+
+@dataclass(frozen=True)
+class TSC:
+    """A per-core time stamp counter.
+
+    Parameters
+    ----------
+    frequency_hz:
+        Nominal tick rate.  FABRIC VM hosts and the local testbed in the
+        paper run in the low-GHz range; the default matches a common
+        2.4 GHz part.
+    invariant:
+        When False, :meth:`read` applies the instantaneous ``scale`` factor
+        (e.g. turbo/powersave excursions), breaking the constant-frequency
+        assumption Choir relies on.
+    scale:
+        Instantaneous frequency multiplier used only when not invariant.
+    """
+
+    frequency_hz: float = 2.4e9
+    invariant: bool = True
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency_hz must be positive")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+    @property
+    def period_ns(self) -> float:
+        """Nanoseconds per tick."""
+        return 1e9 / self.frequency_hz
+
+    def read(self, true_time_ns):
+        """Cycle count at a true time (scalar or array) since counter zero."""
+        rate = self.frequency_hz * (1.0 if self.invariant else self.scale)
+        cycles = np.floor(np.multiply(true_time_ns, rate / 1e9))
+        return cycles.astype(np.int64) if isinstance(cycles, np.ndarray) else np.int64(cycles)
+
+    def cycles_to_ns(self, cycles):
+        """Convert cycle counts to nanoseconds at the *nominal* frequency.
+
+        This is what software does with a recorded TSC value; under a
+        non-invariant counter the result is wrong by ``scale``, which is
+        exactly the failure mode the invariance requirement avoids.
+        """
+        return np.multiply(cycles, 1e9 / self.frequency_hz)
+
+    def ns_to_cycles(self, ns):
+        """Convert a nanosecond duration to a whole number of cycles."""
+        cycles = np.floor(np.multiply(ns, self.frequency_hz / 1e9))
+        return cycles.astype(np.int64) if isinstance(cycles, np.ndarray) else np.int64(cycles)
+
+    def quantize_ns(self, ns):
+        """Round a time down to the TSC tick grid (scheduling resolution)."""
+        return self.cycles_to_ns(self.ns_to_cycles(ns))

@@ -1,0 +1,23 @@
+"""Dependency-free SVG figure rendering.
+
+The paper's artifact produces figures; this package regenerates them as
+standalone SVG documents without a plotting stack:
+:func:`~repro.viz.figures.histogram_figure` for the Figures 4-10 layout,
+:func:`~repro.viz.figures.kappa_bars` for Table-2-style comparisons, and
+:func:`~repro.viz.figures.series_lines` for the ablations.
+"""
+
+from .figures import PALETTE, histogram_figure, kappa_bars, series_lines
+from .scales import LinearScale, LogScale, SymlogScale
+from .svg import SvgDocument
+
+__all__ = [
+    "SvgDocument",
+    "LinearScale",
+    "LogScale",
+    "SymlogScale",
+    "histogram_figure",
+    "kappa_bars",
+    "series_lines",
+    "PALETTE",
+]

@@ -1,0 +1,198 @@
+"""Publication-style SVG renderings of the reproduction's charts.
+
+Three chart types cover the paper's visual vocabulary:
+
+* :func:`histogram_figure` — the Figures 4-10 layout: percentage of
+  packets (log y) against signed delta (symlog x), one polyline-with-
+  markers series per run, shared bins, legend;
+* :func:`kappa_bars` — Table 2 as a horizontal bar chart of κ per
+  environment, with the paper's published values as reference ticks;
+* :func:`series_lines` — generic multi-series line chart (used by the
+  ablations: burst-size ceilings, reorder-by-spacing, ...).
+
+All outputs are deterministic standalone SVG files.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.histograms import DeltaHistogram
+from .scales import LinearScale, LogScale, SymlogScale
+from .svg import SvgDocument
+
+__all__ = ["histogram_figure", "kappa_bars", "series_lines", "PALETTE"]
+
+#: Color cycle for run series (colorblind-safe-ish).
+PALETTE = ("#3465a4", "#cc4125", "#6aa84f", "#8e63ce", "#e69138", "#444444")
+
+_MARGIN = {"left": 64.0, "right": 16.0, "top": 34.0, "bottom": 46.0}
+
+
+def _frame(doc: SvgDocument, x0, y0, x1, y1, title: str) -> None:
+    doc.rect(x0, y0, x1 - x0, y1 - y0, fill="none", stroke="#888888")
+    if title:
+        doc.text((x0 + x1) / 2, 18, title, size=13, anchor="middle", weight="bold")
+
+
+def histogram_figure(
+    histograms: list[DeltaHistogram],
+    *,
+    title: str = "",
+    xlabel: str = "delta (ns)",
+    ylabel: str = "% of packets",
+    width: float = 640.0,
+    height: float = 360.0,
+    min_pct: float = 1e-5,
+) -> SvgDocument:
+    """The paper's histogram-figure layout over shared symlog bins."""
+    if not histograms:
+        raise ValueError("need at least one histogram")
+    bins = histograms[0].bins
+    for h in histograms[1:]:
+        if h.bins != bins:
+            raise ValueError("histograms must share bins")
+
+    doc = SvgDocument(width, height)
+    x0, y0 = _MARGIN["left"], _MARGIN["top"]
+    x1, y1 = width - _MARGIN["right"], height - _MARGIN["bottom"]
+    _frame(doc, x0, y0, x1, y1, title)
+
+    limit = 10.0 ** bins.max_decade
+    xs = SymlogScale(limit=limit, linthresh=bins.linthresh, p0=x0, p1=x1)
+    ymax = max(float(h.percent.max(initial=min_pct)) for h in histograms)
+    ys = LogScale(d0=min_pct, d1=max(ymax * 1.3, min_pct * 10), p0=y1, p1=y0)
+
+    # Grid + ticks.
+    for v, label in xs.ticks():
+        px = xs(v)
+        doc.line(px, y0, px, y1, stroke="#dddddd")
+        doc.text(px, y1 + 14, label, size=9, anchor="middle")
+    for v, label in ys.ticks():
+        py = ys(v)
+        doc.line(x0, py, x1, py, stroke="#eeeeee")
+        doc.text(x0 - 4, py + 3, label, size=9, anchor="end")
+    doc.text((x0 + x1) / 2, height - 8, xlabel, size=11, anchor="middle")
+    doc.text(14, (y0 + y1) / 2, ylabel, size=11, anchor="middle", rotate=-90)
+
+    centers = bins.centers()
+    finite = np.isfinite(centers)
+    for i, h in enumerate(histograms):
+        color = PALETTE[i % len(PALETTE)]
+        pct = h.percent
+        mask = finite & (pct > min_pct)
+        pts = [(xs(c), ys(p)) for c, p in zip(centers[mask], pct[mask])]
+        if len(pts) > 1:
+            doc.polyline(pts, stroke=color, stroke_width=1.5, opacity=0.9)
+        for px, py in pts:
+            doc.circle(px, py, 2.2, fill=color)
+        # Legend entry.
+        lx, ly = x1 - 70, y0 + 14 + i * 14
+        doc.line(lx, ly - 3, lx + 18, ly - 3, stroke=color, stroke_width=2)
+        doc.text(lx + 22, ly, f"run {h.label or '?'}", size=10)
+    return doc
+
+
+def kappa_bars(
+    rows: list[dict],
+    *,
+    title: str = "Consistency score per environment",
+    width: float = 680.0,
+    height: float | None = None,
+    paper_key: str = "paper_kappa",
+) -> SvgDocument:
+    """Horizontal κ bars per environment, with paper reference markers.
+
+    ``rows`` carry ``environment`` and ``kappa`` (and optionally the
+    paper's value under ``paper_key``, drawn as a vertical notch).
+    """
+    if not rows:
+        raise ValueError("need at least one row")
+    bar_h, gap = 18.0, 8.0
+    height = height or (_MARGIN["top"] + 30 + len(rows) * (bar_h + gap))
+    doc = SvgDocument(width, height)
+    x0 = 200.0
+    x1 = width - _MARGIN["right"]
+    y = _MARGIN["top"]
+    _frame(doc, x0, y - 6, x1, height - 20, title)
+    xs = LinearScale(d0=0.0, d1=1.0, p0=x0, p1=x1)
+
+    for v, label in xs.ticks(5):
+        px = xs(v)
+        doc.line(px, y - 6, px, height - 20, stroke="#e5e5e5")
+        doc.text(px, height - 6, label, size=9, anchor="middle")
+
+    for i, row in enumerate(rows):
+        top = y + i * (bar_h + gap)
+        k = float(row["kappa"])
+        doc.text(x0 - 6, top + bar_h * 0.72, str(row["environment"]), size=10, anchor="end")
+        doc.rect(x0, top, xs(k) - x0, bar_h, fill=PALETTE[0], opacity=0.85)
+        doc.text(xs(k) + 4, top + bar_h * 0.72, f"{k:.3f}", size=9)
+        if paper_key in row and row[paper_key] is not None:
+            px = xs(float(row[paper_key]))
+            doc.line(px, top - 2, px, top + bar_h + 2, stroke="#cc4125",
+                     stroke_width=2)
+    return doc
+
+
+def series_lines(
+    x_values,
+    series: dict[str, np.ndarray],
+    *,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    width: float = 640.0,
+    height: float = 360.0,
+    log_y: bool = False,
+) -> SvgDocument:
+    """Generic multi-series line chart on a linear x axis."""
+    if not series:
+        raise ValueError("need at least one series")
+    x = np.asarray(x_values, dtype=np.float64)
+    doc = SvgDocument(width, height)
+    x0, y0 = _MARGIN["left"], _MARGIN["top"]
+    x1, y1 = width - _MARGIN["right"], height - _MARGIN["bottom"]
+    _frame(doc, x0, y0, x1, y1, title)
+
+    xs = LinearScale(d0=float(x.min()), d1=float(x.max()) or 1.0, p0=x0, p1=x1)
+    all_y = np.concatenate([np.asarray(v, dtype=np.float64) for v in series.values()])
+    if log_y:
+        positive = all_y[all_y > 0]
+        lo = float(positive.min()) if positive.size else 1e-6
+        ys = LogScale(d0=lo / 2, d1=float(all_y.max()) * 1.3, p0=y1, p1=y0)
+        y_ticks = ys.ticks()
+    else:
+        lo, hi = float(all_y.min()), float(all_y.max())
+        if lo == hi:
+            lo, hi = lo - 1.0, hi + 1.0
+        ys = LinearScale(d0=min(lo, 0.0), d1=hi * 1.1, p0=y1, p1=y0)
+        y_ticks = ys.ticks(5)
+
+    for v, label in xs.ticks(6):
+        px = xs(v)
+        doc.line(px, y0, px, y1, stroke="#eeeeee")
+        doc.text(px, y1 + 14, label, size=9, anchor="middle")
+    for v, label in y_ticks:
+        py = ys(v)
+        doc.line(x0, py, x1, py, stroke="#eeeeee")
+        doc.text(x0 - 4, py + 3, label, size=9, anchor="end")
+    doc.text((x0 + x1) / 2, height - 8, xlabel, size=11, anchor="middle")
+    doc.text(14, (y0 + y1) / 2, ylabel, size=11, anchor="middle", rotate=-90)
+
+    for i, (name, values) in enumerate(series.items()):
+        color = PALETTE[i % len(PALETTE)]
+        v = np.asarray(values, dtype=np.float64)
+        if log_y:
+            mask = v > 0
+        else:
+            mask = np.isfinite(v)
+        pts = [(xs(a), ys(b)) for a, b in zip(x[mask], v[mask])]
+        if len(pts) > 1:
+            doc.polyline(pts, stroke=color)
+        for px, py in pts:
+            doc.circle(px, py, 2.5, fill=color)
+        lx, ly = x0 + 10, y0 + 14 + i * 14
+        doc.line(lx, ly - 3, lx + 18, ly - 3, stroke=color, stroke_width=2)
+        doc.text(lx + 22, ly, name, size=10)
+    return doc

@@ -1,0 +1,123 @@
+"""Axis scales and tick generation for the figure renderers.
+
+Three scales cover every chart in the paper: linear (κ bars), log (the
+figures' percentage y-axes), and symmetric-log (the IAT/latency delta
+x-axes spanning ±10⁰..10⁹ ns with a linear core).  Each scale maps data
+space onto a pixel interval and produces labeled ticks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LinearScale", "LogScale", "SymlogScale"]
+
+
+@dataclass(frozen=True)
+class LinearScale:
+    """Affine data→pixel mapping."""
+
+    d0: float
+    d1: float
+    p0: float
+    p1: float
+
+    def __post_init__(self) -> None:
+        if self.d0 == self.d1:
+            raise ValueError("degenerate data domain")
+
+    def __call__(self, value):
+        frac = (np.asarray(value, dtype=np.float64) - self.d0) / (self.d1 - self.d0)
+        out = self.p0 + frac * (self.p1 - self.p0)
+        return float(out) if out.ndim == 0 else out
+
+    def ticks(self, n: int = 5) -> list[tuple[float, str]]:
+        """~n nicely rounded (value, label) ticks inside the domain."""
+        lo, hi = min(self.d0, self.d1), max(self.d0, self.d1)
+        span = hi - lo
+        step = 10 ** math.floor(math.log10(span / max(n, 1)))
+        for mult in (1, 2, 5, 10):
+            if span / (step * mult) <= n:
+                step *= mult
+                break
+        first = math.ceil(lo / step) * step
+        vals = np.arange(first, hi + step * 0.5, step)
+        return [(float(v), f"{v:g}") for v in vals]
+
+
+@dataclass(frozen=True)
+class LogScale:
+    """Log10 data→pixel mapping for strictly positive data."""
+
+    d0: float
+    d1: float
+    p0: float
+    p1: float
+
+    def __post_init__(self) -> None:
+        if self.d0 <= 0 or self.d1 <= 0 or self.d0 == self.d1:
+            raise ValueError("log scale needs a positive, non-degenerate domain")
+
+    def __call__(self, value):
+        v = np.log10(np.asarray(value, dtype=np.float64))
+        l0, l1 = math.log10(self.d0), math.log10(self.d1)
+        out = self.p0 + (v - l0) / (l1 - l0) * (self.p1 - self.p0)
+        return float(out) if out.ndim == 0 else out
+
+    def ticks(self) -> list[tuple[float, str]]:
+        """Decade ticks inside the domain."""
+        lo = math.ceil(math.log10(min(self.d0, self.d1)))
+        hi = math.floor(math.log10(max(self.d0, self.d1)))
+        out = []
+        for e in range(lo, hi + 1):
+            v = 10.0**e
+            label = f"1e{e}" if not -3 <= e <= 3 else f"{v:g}"
+            out.append((v, label))
+        return out
+
+
+@dataclass(frozen=True)
+class SymlogScale:
+    """Symmetric-log mapping: linear inside ±linthresh, log outside.
+
+    Mirrors matplotlib's symlog: the transform is
+    ``sign(x) * (1 + log10(|x|/linthresh))`` outside the threshold and
+    ``x / linthresh`` inside, then affine to pixels.
+    """
+
+    limit: float
+    linthresh: float
+    p0: float
+    p1: float
+
+    def __post_init__(self) -> None:
+        if self.linthresh <= 0 or self.limit <= self.linthresh:
+            raise ValueError("need 0 < linthresh < limit")
+
+    def _transform(self, x: np.ndarray) -> np.ndarray:
+        ax = np.abs(x)
+        with np.errstate(divide="ignore"):
+            outer = np.sign(x) * (1.0 + np.log10(np.maximum(ax, self.linthresh) / self.linthresh))
+        inner = x / self.linthresh
+        return np.where(ax <= self.linthresh, inner, outer)
+
+    def __call__(self, value):
+        v = self._transform(np.asarray(value, dtype=np.float64))
+        vmax = float(self._transform(np.asarray(self.limit)))
+        out = self.p0 + (v + vmax) / (2 * vmax) * (self.p1 - self.p0)
+        return float(out) if out.ndim == 0 else out
+
+    def ticks(self) -> list[tuple[float, str]]:
+        """0, ±linthresh and ± decades up to the limit, SI-labelled."""
+        from ..analysis.textplot import format_si
+
+        decades = []
+        e = math.ceil(math.log10(self.linthresh))
+        while 10.0**e <= self.limit:
+            decades.append(10.0**e)
+            e += 1
+        vals = sorted({-d for d in decades} | {0.0} | set(decades))
+        return [(v, format_si(v)) for v in vals]

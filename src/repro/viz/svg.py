@@ -1,0 +1,157 @@
+"""A minimal, dependency-free SVG document builder.
+
+The paper's artifact emits figures; this environment has no plotting
+stack, so the package carries its own small SVG layer — enough for the
+publication-style charts in :mod:`repro.viz.figures`: rectangles, lines,
+polylines, paths, text with anchoring, and grouped/translated content.
+
+Elements are accumulated as strings with proper XML escaping; the
+document serializes deterministically (attribute order fixed by
+insertion), which keeps figure outputs diffable across runs.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape, quoteattr
+
+__all__ = ["SvgDocument"]
+
+
+def _fmt(value) -> str:
+    """Compact numeric formatting: 3 decimals, no trailing zeros."""
+    if isinstance(value, float):
+        s = f"{value:.3f}".rstrip("0").rstrip(".")
+        return s if s not in ("", "-") else "0"
+    return str(value)
+
+
+def _attrs(attrs: dict) -> str:
+    parts = []
+    for k, v in attrs.items():
+        if v is None:
+            continue
+        name = k.rstrip("_").replace("_", "-")
+        parts.append(f" {name}={quoteattr(_fmt(v))}")
+    return "".join(parts)
+
+
+class SvgDocument:
+    """An SVG canvas with a fluent element-appending API.
+
+    All coordinates are in user units (pixels).  The y-axis is SVG's
+    (down-positive); chart code flips via its scale mapping.
+    """
+
+    def __init__(self, width: float, height: float, *, background: str | None = "#ffffff"):
+        if width <= 0 or height <= 0:
+            raise ValueError("canvas dimensions must be positive")
+        self.width = float(width)
+        self.height = float(height)
+        self._body: list[str] = []
+        if background:
+            self.rect(0, 0, width, height, fill=background, stroke=None)
+
+    # -- primitives --------------------------------------------------------
+    def rect(self, x, y, w, h, *, fill="#000000", stroke=None, stroke_width=1.0,
+             opacity=None, rx=None) -> "SvgDocument":
+        """Append a rectangle."""
+        self._body.append(
+            "<rect"
+            + _attrs({
+                "x": x, "y": y, "width": w, "height": h, "fill": fill,
+                "stroke": stroke, "stroke_width": stroke_width if stroke else None,
+                "opacity": opacity, "rx": rx,
+            })
+            + "/>"
+        )
+        return self
+
+    def line(self, x1, y1, x2, y2, *, stroke="#000000", stroke_width=1.0,
+             dash=None, opacity=None) -> "SvgDocument":
+        """Append a line segment."""
+        self._body.append(
+            "<line"
+            + _attrs({
+                "x1": x1, "y1": y1, "x2": x2, "y2": y2, "stroke": stroke,
+                "stroke_width": stroke_width, "stroke_dasharray": dash,
+                "opacity": opacity,
+            })
+            + "/>"
+        )
+        return self
+
+    def polyline(self, points, *, stroke="#000000", stroke_width=1.5,
+                 fill="none", opacity=None) -> "SvgDocument":
+        """Append a polyline through ``(x, y)`` pairs."""
+        pts = " ".join(f"{_fmt(float(x))},{_fmt(float(y))}" for x, y in points)
+        self._body.append(
+            "<polyline"
+            + _attrs({
+                "points": pts, "stroke": stroke, "stroke_width": stroke_width,
+                "fill": fill, "opacity": opacity,
+            })
+            + "/>"
+        )
+        return self
+
+    def circle(self, cx, cy, r, *, fill="#000000", stroke=None,
+               opacity=None) -> "SvgDocument":
+        """Append a circle marker."""
+        self._body.append(
+            "<circle"
+            + _attrs({
+                "cx": cx, "cy": cy, "r": r, "fill": fill, "stroke": stroke,
+                "opacity": opacity,
+            })
+            + "/>"
+        )
+        return self
+
+    def text(self, x, y, content, *, size=11, anchor="start", fill="#222222",
+             rotate=None, family="Helvetica, Arial, sans-serif",
+             weight=None) -> "SvgDocument":
+        """Append a text label; ``anchor`` is start/middle/end."""
+        transform = None
+        if rotate is not None:
+            transform = f"rotate({_fmt(float(rotate))} {_fmt(float(x))} {_fmt(float(y))})"
+        self._body.append(
+            "<text"
+            + _attrs({
+                "x": x, "y": y, "font_size": size, "text_anchor": anchor,
+                "fill": fill, "font_family": family, "font_weight": weight,
+                "transform": transform,
+            })
+            + f">{escape(str(content))}</text>"
+        )
+        return self
+
+    def group_open(self, *, translate: tuple[float, float] | None = None,
+                   opacity=None) -> "SvgDocument":
+        """Open a ``<g>``; pair with :meth:`group_close`."""
+        transform = None
+        if translate is not None:
+            transform = f"translate({_fmt(float(translate[0]))} {_fmt(float(translate[1]))})"
+        self._body.append("<g" + _attrs({"transform": transform, "opacity": opacity}) + ">")
+        return self
+
+    def group_close(self) -> "SvgDocument":
+        """Close the innermost ``<g>``."""
+        self._body.append("</g>")
+        return self
+
+    # -- output -------------------------------------------------------------
+    def render(self) -> str:
+        """The complete SVG document."""
+        head = (
+            '<?xml version="1.0" encoding="UTF-8"?>\n'
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{_fmt(self.width)}" height="{_fmt(self.height)}" '
+            f'viewBox="0 0 {_fmt(self.width)} {_fmt(self.height)}">'
+        )
+        return head + "".join(self._body) + "</svg>\n"
+
+    def save(self, path) -> None:
+        """Write the document to disk."""
+        from pathlib import Path
+
+        Path(path).write_text(self.render())

@@ -1,0 +1,33 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Trial
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random source; tests must not depend on global state."""
+    return np.random.default_rng(12345)
+
+
+def make_trial(times, tags=None, label="") -> Trial:
+    """Build a trial from times (and optional tags) with minimal ceremony."""
+    times = np.asarray(times, dtype=np.float64)
+    if tags is None:
+        tags = np.arange(times.shape[0], dtype=np.int64)
+    return Trial(np.asarray(tags, dtype=np.int64), times, label=label)
+
+
+def comb_trial(n: int, gap_ns: float = 100.0, start: float = 0.0, label="") -> Trial:
+    """An evenly spaced n-packet trial."""
+    return make_trial(start + np.arange(n) * gap_ns, label=label)
+
+
+@pytest.fixture
+def comb():
+    """Factory fixture for evenly spaced trials."""
+    return comb_trial

@@ -1,0 +1,67 @@
+"""API-surface integrity: every exported name exists and imports cleanly."""
+
+import importlib
+
+import pytest
+
+SUBPACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.net",
+    "repro.timing",
+    "repro.replay",
+    "repro.generators",
+    "repro.testbeds",
+    "repro.analysis",
+    "repro.experiments",
+    "repro.viz",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_all_entries_resolve(self, name):
+        mod = importlib.import_module(name)
+        assert hasattr(mod, "__all__"), f"{name} has no __all__"
+        missing = [n for n in mod.__all__ if not hasattr(mod, n)]
+        assert not missing, f"{name}.__all__ lists missing names: {missing}"
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_docstrings_present(self, name):
+        mod = importlib.import_module(name)
+        assert mod.__doc__ and len(mod.__doc__.strip()) > 20
+
+    def test_lazy_subpackages_resolve(self):
+        import repro
+
+        for sub in ("net", "timing", "replay", "generators", "testbeds",
+                    "analysis", "experiments", "viz"):
+            assert getattr(repro, sub) is importlib.import_module(f"repro.{sub}")
+
+    def test_unknown_attribute_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.nonexistent_subpackage
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+    def test_public_callables_have_docstrings(self):
+        """Every public function/class in __all__ carries a docstring."""
+        undocumented = []
+        for name in SUBPACKAGES[1:]:
+            mod = importlib.import_module(name)
+            for export in mod.__all__:
+                obj = getattr(mod, export)
+                if callable(obj) and not (obj.__doc__ or "").strip():
+                    undocumented.append(f"{name}.{export}")
+        assert not undocumented, undocumented
+
+    def test_cli_module_importable(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        assert parser.prog == "repro"

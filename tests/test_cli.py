@@ -1,0 +1,101 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_parse(self):
+        p = build_parser()
+        assert p.parse_args(["scenarios"]).command == "scenarios"
+        args = p.parse_args(["simulate", "local-single", "--runs", "3", "--scale", "0.1"])
+        assert args.scenario == "local-single" and args.runs == 3
+        assert p.parse_args(["analyze", "/tmp/x"]).directory == "/tmp/x"
+        assert p.parse_args(["table2", "--no-paper"]).no_paper
+        assert p.parse_args(["figure", "4a"]).figure_id == "4a"
+
+
+class TestCommands:
+    def test_scenarios_lists_all_nine(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 9
+        assert "local-single" in out and "fabric-shared-40g-noisy" in out
+
+    def test_simulate_and_analyze_roundtrip(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "caps")
+        rc = main([
+            "simulate", "local-single", "--runs", "2",
+            "--scale", "0.01", "-o", out_dir,
+        ])
+        assert rc == 0
+        sim_out = capsys.readouterr().out
+        assert "per-run metrics" in sim_out
+        assert main(["analyze", out_dir]) == 0
+        ana_out = capsys.readouterr().out
+        assert "kappa" in ana_out
+
+    def test_simulate_unknown_scenario(self):
+        with pytest.raises(KeyError, match="valid keys"):
+            main(["simulate", "bogus", "--scale", "0.01"])
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--scale", "0.01"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_table2_no_paper(self, capsys):
+        assert main(["table2", "--scale", "0.005", "--no-paper"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "paper_kappa" not in out
+
+    def test_figure(self, capsys):
+        assert main(["figure", "4a", "--scale", "0.01"]) == 0
+        assert "Figure 4a" in capsys.readouterr().out
+
+    def test_figure_unknown(self, capsys):
+        assert main(["figure", "99z"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_figure_svg_output(self, capsys, tmp_path):
+        svg = tmp_path / "f.svg"
+        assert main(["figure", "4a", "--scale", "0.01", "--svg", str(svg)]) == 0
+        assert svg.read_text().startswith("<?xml")
+
+    def test_simulate_custom_profile(self, capsys, tmp_path):
+        from repro.testbeds import local_single_replayer, save_profile
+
+        path = save_profile(
+            local_single_replayer().at_duration(1e6), tmp_path / "env.json"
+        )
+        assert main(["simulate", "--profile", str(path), "--runs", "2"]) == 0
+        assert "local-single" in capsys.readouterr().out
+
+    def test_simulate_requires_exactly_one_source(self, capsys, tmp_path):
+        assert main(["simulate"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        from repro.testbeds import local_single_replayer, save_profile
+
+        path = save_profile(local_single_replayer(), tmp_path / "env.json")
+        assert main(["simulate", "local-single", "--profile", str(path)]) == 2
+
+    def test_report_generates_artifacts(self, capsys, tmp_path):
+        out = tmp_path / "rep"
+        assert main(["report", "-o", str(out), "--scale", "0.005", "--no-svg"]) == 0
+        assert (out / "table2.txt").exists()
+        assert (out / "table1.txt").exists()
+        assert (out / "fig4a.txt").exists()
+        # All 13 figures, no SVGs when --no-svg.
+        assert len(list(out.glob("fig*.txt"))) == 13
+        assert not list(out.glob("*.svg"))
+
+    def test_report_with_svg(self, capsys, tmp_path):
+        out = tmp_path / "rep"
+        assert main(["report", "-o", str(out), "--scale", "0.005"]) == 0
+        assert (out / "fig4a.svg").exists()
+        assert (out / "table2_kappa.svg").exists()

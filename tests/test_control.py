@@ -1,0 +1,45 @@
+"""Unit tests for the Choir control plane."""
+
+import pytest
+
+from repro.replay import ChoirCommand, CommandKind, CommandLog, ControlChannel
+
+
+class TestControlChannel:
+    def test_delivery_time(self):
+        ch = ControlChannel(latency_ns=1000.0)
+        assert ch.delivery_time(500.0) == 1500.0
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            ControlChannel(latency_ns=-1.0)
+
+
+class TestCommandLog:
+    def test_commands_delivered_in_order(self):
+        log = CommandLog(channel=ControlChannel(latency_ns=100.0))
+        log.issue(ChoirCommand(CommandKind.RECORD_START, "r1", issue_ns=0.0))
+        log.issue(ChoirCommand(CommandKind.RECORD_STOP, "r1", issue_ns=50.0))
+        delivered = log.run()
+        assert [c.kind for c in delivered] == [
+            CommandKind.RECORD_START,
+            CommandKind.RECORD_STOP,
+        ]
+
+    def test_schedule_replay_fans_out(self):
+        log = CommandLog(channel=ControlChannel(latency_ns=100.0))
+        log.schedule_replay(["r1", "r2"], issue_ns=0.0, start_ns=1e6)
+        delivered = log.run()
+        assert {c.target for c in delivered} == {"r1", "r2"}
+        assert all(c.kind is CommandKind.REPLAY_AT for c in delivered)
+        assert all(c.param_ns == 1e6 for c in delivered)
+
+    def test_replay_start_must_postdate_delivery(self):
+        """The real tool would miss an epoch scheduled in its past."""
+        log = CommandLog(channel=ControlChannel(latency_ns=1e6))
+        with pytest.raises(ValueError, match="precedes command delivery"):
+            log.schedule_replay(["r1"], issue_ns=0.0, start_ns=1000.0)
+
+    def test_in_band_flag_carried(self):
+        assert ControlChannel(in_band=True).in_band
+        assert not ControlChannel(in_band=False).in_band

@@ -1,0 +1,122 @@
+"""Unit tests for the breakpoint/backtrace debugging primitives."""
+
+import numpy as np
+import pytest
+
+from repro.core import Trial
+from repro.net import PacketArray, TxNicModel, make_tags
+from repro.replay import (
+    ChoirNode,
+    Recording,
+    backtrace,
+    burstify_fixed,
+    find_matches,
+    first_match,
+    match_size_at_least,
+    match_tags,
+    match_time_window,
+)
+from repro.timing import TSC
+
+
+def small_recording(n=100, rid=1) -> Recording:
+    batch = PacketArray.uniform(n, 1400, np.arange(n) * 284.0, replayer_id=rid)
+    return Recording.capture(batch, burstify_fixed(n, 8), batch.times_ns, TSC())
+
+
+class TestBreakpoints:
+    def test_match_tags(self):
+        rec = small_recording()
+        wanted = rec.packets.tags[[5, 50]]
+        idx = find_matches(rec, match_tags(wanted))
+        np.testing.assert_array_equal(idx, [5, 50])
+
+    def test_first_match(self):
+        rec = small_recording()
+        assert first_match(rec, match_tags(rec.packets.tags[[42]])) == 42
+
+    def test_first_match_none(self):
+        rec = small_recording()
+        assert first_match(rec, match_tags([999_999])) is None
+
+    def test_time_window(self):
+        rec = small_recording()
+        idx = find_matches(rec, match_time_window(284.0 * 10, 284.0 * 12))
+        np.testing.assert_array_equal(idx, [10, 11, 12])
+
+    def test_time_window_validation(self):
+        with pytest.raises(ValueError):
+            match_time_window(10.0, 5.0)
+
+    def test_size_predicate(self):
+        rec = small_recording()
+        assert find_matches(rec, match_size_at_least(1400)).shape == (100,)
+        assert find_matches(rec, match_size_at_least(1401)).shape == (0,)
+
+    def test_bad_predicate_shape_rejected(self):
+        rec = small_recording()
+        with pytest.raises(ValueError, match="one boolean per packet"):
+            find_matches(rec, lambda b: np.array([True]))
+
+
+class TestBacktrace:
+    def test_received_packet_full_trace(self):
+        rec = small_recording(n=100, rid=1)
+        tag = int(rec.packets.tags[20])
+        capture = Trial(rec.packets.tags, rec.packets.times_ns + 5000.0)
+        bt = backtrace(tag, capture, {"replayer-0": rec})
+        assert bt.received
+        assert bt.emitted_by == "replayer-0"
+        assert bt.lost_downstream_of is None
+        assert bt.rx_position == 20
+        assert bt.node_traces[0].burst_id == 2  # 20 // 8
+        assert bt.node_traces[0].offset_in_burst == 4
+        assert bt.latency_ns() == pytest.approx(5000.0)
+        assert "position 20" in bt.render()
+
+    def test_dropped_packet_localized(self):
+        rec = small_recording(n=50, rid=1)
+        tag = int(rec.packets.tags[30])
+        mask = rec.packets.tags != tag
+        capture = Trial(rec.packets.tags[mask], rec.packets.times_ns[mask])
+        bt = backtrace(tag, capture, {"replayer-0": rec})
+        assert not bt.received
+        assert bt.lost_downstream_of == "replayer-0"
+        assert "MISSING" in bt.render()
+
+    def test_unknown_packet(self):
+        rec = small_recording()
+        capture = Trial(rec.packets.tags, rec.packets.times_ns)
+        bt = backtrace(123456789, capture, {"r": rec})
+        assert not bt.received
+        assert bt.emitted_by is None
+        assert bt.lost_downstream_of is None  # never seen anywhere
+
+    def test_multi_node_attribution(self):
+        rec1 = small_recording(n=20, rid=1)
+        rec2 = small_recording(n=20, rid=2)
+        tag = int(rec2.packets.tags[7])
+        merged_tags = np.concatenate([rec1.packets.tags, rec2.packets.tags])
+        merged_times = np.concatenate(
+            [rec1.packets.times_ns, rec2.packets.times_ns + 1.0]
+        )
+        capture = Trial.from_arrival_events(merged_tags, merged_times)
+        bt = backtrace(tag, capture, {"r1": rec1, "r2": rec2})
+        assert bt.emitted_by == "r2"
+        assert not bt.node_traces[0].present  # r1 never carried it
+
+
+class TestEndToEnd:
+    def test_backtrace_through_choir_node(self, rng):
+        """Record on a real node, replay, trace a packet through."""
+        node = ChoirNode("r0", TxNicModel(rate_bps=100e9))
+        batch = PacketArray.uniform(
+            200, 1400, np.arange(200) * 284.0, replayer_id=3
+        )
+        node.record(batch, rng)
+        out = node.replay(1e9, rng)
+        capture = Trial.from_arrival_events(out.egress.tags, out.egress.times_ns)
+        tag = int(batch.tags[150])
+        bt = backtrace(tag, capture, {"r0": node.recording})
+        assert bt.received
+        assert bt.emitted_by == "r0"

@@ -1,0 +1,131 @@
+"""Unit tests for the DES loop and the topology graph."""
+
+import networkx as nx
+import pytest
+
+from repro.net import EventLoop, Link, NodeRole, Topology
+
+
+class TestEventLoop:
+    def test_fires_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(30.0, lambda l: fired.append("c"))
+        loop.schedule(10.0, lambda l: fired.append("a"))
+        loop.schedule(20.0, lambda l: fired.append("b"))
+        loop.run()
+        assert fired == ["a", "b", "c"]
+        assert loop.now_ns == 30.0
+        assert loop.n_fired == 3
+
+    def test_equal_times_fire_in_schedule_order(self):
+        loop = EventLoop()
+        fired = []
+        for i in range(5):
+            loop.schedule(7.0, lambda l, i=i: fired.append(i))
+        loop.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_handlers_can_schedule(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain(l):
+            fired.append(l.now_ns)
+            if len(fired) < 3:
+                l.schedule_in(10.0, chain)
+
+        loop.schedule(0.0, chain)
+        loop.run()
+        assert fired == [0.0, 10.0, 20.0]
+
+    def test_cancel(self):
+        loop = EventLoop()
+        fired = []
+        ev = loop.schedule(5.0, lambda l: fired.append(1))
+        ev.cancel()
+        loop.run()
+        assert fired == []
+        assert loop.pending == 0
+
+    def test_until(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(5.0, lambda l: fired.append(1))
+        loop.schedule(50.0, lambda l: fired.append(2))
+        loop.run(until_ns=10.0)
+        assert fired == [1]
+        assert loop.now_ns == 10.0
+        loop.run()
+        assert fired == [1, 2]
+
+    def test_rejects_past_schedule(self):
+        loop = EventLoop()
+        loop.schedule(10.0, lambda l: None)
+        loop.run()
+        with pytest.raises(ValueError):
+            loop.schedule(5.0, lambda l: None)
+
+    def test_event_budget(self):
+        loop = EventLoop()
+
+        def forever(l):
+            l.schedule_in(1.0, forever)
+
+        loop.schedule(0.0, forever)
+        with pytest.raises(RuntimeError, match="budget"):
+            loop.run(max_events=100)
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            loop.schedule_in(-1.0, lambda l: None)
+
+
+class TestTopology:
+    def _linear(self):
+        topo = Topology("t")
+        topo.add_node("gen", NodeRole.GENERATOR)
+        topo.add_node("sw", NodeRole.SWITCH)
+        topo.add_node("rep", NodeRole.REPLAYER)
+        topo.add_node("rec", NodeRole.RECORDER)
+        link = Link(rate_bps=100e9)
+        topo.add_link("gen", "sw", link)
+        topo.add_link("sw", "rep", link)
+        topo.add_link("sw", "rec", link)
+        return topo
+
+    def test_roles(self):
+        topo = self._linear()
+        assert topo.role_of("gen") == NodeRole.GENERATOR
+        assert topo.nodes_with_role(NodeRole.SWITCH) == ["sw"]
+
+    def test_path(self):
+        topo = self._linear()
+        hops = topo.path("gen", "rec")
+        assert [(h.src, h.dst) for h in hops] == [("gen", "sw"), ("sw", "rec")]
+
+    def test_no_path_raises(self):
+        topo = self._linear()
+        topo.add_node("island", NodeRole.NOISE)
+        with pytest.raises(nx.NetworkXNoPath):
+            topo.path("gen", "island")
+
+    def test_duplicate_node_rejected(self):
+        topo = self._linear()
+        with pytest.raises(ValueError):
+            topo.add_node("gen", NodeRole.NOISE)
+
+    def test_link_to_unknown_node_rejected(self):
+        topo = self._linear()
+        with pytest.raises(KeyError):
+            topo.add_link("gen", "ghost", Link(rate_bps=1e9))
+
+    def test_bidirectional_by_default(self):
+        topo = self._linear()
+        assert topo.path("rec", "gen")  # reverse direction exists
+
+    def test_degree_report(self):
+        topo = self._linear()
+        deg = topo.degree_report()
+        assert deg["sw"] == 6  # 3 bidirectional links

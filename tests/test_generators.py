@@ -1,0 +1,209 @@
+"""Unit tests for the traffic-source substrate."""
+
+import numpy as np
+import pytest
+
+from repro.generators import (
+    CaptureReplaySource,
+    CBRGenerator,
+    MoonGenGapControl,
+    TCPNoiseGenerator,
+    split_by_port,
+    split_round_robin,
+)
+from repro.net import PacketArray, SharedPort
+from repro.net.units import rate_to_pps
+
+
+class TestCBR:
+    def test_paper_rate(self):
+        gen = CBRGenerator(rate_bps=40e9, packet_bytes=1400)
+        assert gen.pps == pytest.approx(rate_to_pps(40e9, 1400))
+        assert gen.iat_ns == pytest.approx(280.0)
+
+    def test_packet_count_for_duration(self):
+        gen = CBRGenerator(rate_bps=40e9, packet_bytes=1400, jitter_ns=0.0)
+        n = gen.n_packets(0.3e9)
+        # Paper: ~1.05M packets for 0.3 s at 3.5 Mpps.
+        assert 1_000_000 < n < 1_100_000
+
+    def test_ideal_comb_without_jitter(self):
+        gen = CBRGenerator(rate_bps=10e9, packet_bytes=1000, jitter_ns=0.0)
+        s = gen.generate(1e5)
+        gaps = np.diff(s.times_ns)
+        np.testing.assert_allclose(gaps, np.full(gaps.shape, gen.iat_ns))
+
+    def test_jitter_preserves_order(self, rng):
+        gen = CBRGenerator(rate_bps=40e9, packet_bytes=1400, jitter_ns=50.0)
+        s = gen.generate(1e6, rng)
+        assert np.all(np.diff(s.times_ns) > 0)
+
+    def test_jitter_requires_rng(self):
+        gen = CBRGenerator(rate_bps=40e9)
+        with pytest.raises(ValueError, match="rng"):
+            gen.generate(1e5)
+
+    def test_mean_rate_with_jitter(self, rng):
+        gen = CBRGenerator(rate_bps=40e9, packet_bytes=1400)
+        s = gen.generate(10e6, rng)
+        measured_pps = (len(s) - 1) / (s.times_ns[-1] - s.times_ns[0]) * 1e9
+        assert measured_pps == pytest.approx(gen.pps, rel=0.01)
+
+    def test_start_offset(self, rng):
+        gen = CBRGenerator(rate_bps=40e9, jitter_ns=0.0)
+        s = gen.generate(1e5, rng, start_ns=5000.0)
+        assert s.times_ns[0] == 5000.0
+
+
+class TestTCPNoise:
+    def test_rate_band_paper_shape(self, rng):
+        """Section 7.1: 'bounced between 35 and 50, mostly around 40'."""
+        gen = TCPNoiseGenerator(n_streams=8, mean_rate_bps=40e9)
+        lo, mean, hi = gen.observed_rate_band_gbps(0.3e9, rng)
+        # The paper quotes iperf3's 1-second averages (35-50); our band is
+        # the instantaneous trajectory, slightly wider at both ends.
+        assert 20.0 < lo < mean < hi < 65.0
+        assert mean == pytest.approx(40.0, rel=0.1)
+
+    def test_generated_volume_matches_rate(self, rng):
+        gen = TCPNoiseGenerator(n_streams=8, mean_rate_bps=40e9)
+        s = gen.generate(20e6, rng)
+        bits = s.total_bytes * 8
+        rate = bits / 20e-3
+        assert rate == pytest.approx(40e9, rel=0.25)
+
+    def test_times_sorted(self, rng):
+        s = TCPNoiseGenerator().generate(5e6, rng)
+        assert np.all(np.diff(s.times_ns) >= 0)
+
+    def test_trains_cluster_packets(self, rng):
+        bursty = TCPNoiseGenerator(train_packets=43.0).generate(5e6, rng)
+        smooth = TCPNoiseGenerator(train_packets=None).generate(
+            5e6, np.random.default_rng(9)
+        )
+        # Trains make many gaps tiny (line-rate spacing ~121 ns).
+        frac_tiny = lambda s: np.mean(np.diff(s.times_ns) < 125.0)
+        assert frac_tiny(bursty) > 2 * frac_tiny(smooth)
+
+    def test_more_streams_smoother_aggregate(self, rng):
+        few = TCPNoiseGenerator(n_streams=1, mean_rate_bps=40e9)
+        many = TCPNoiseGenerator(n_streams=16, mean_rate_bps=40e9)
+        _, r_few = few.rate_trajectory(0.3e9, np.random.default_rng(1))
+        _, r_many = many.rate_trajectory(0.3e9, np.random.default_rng(2))
+        assert np.std(r_many) < np.std(r_few)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            TCPNoiseGenerator(n_streams=0)
+        with pytest.raises(ValueError):
+            TCPNoiseGenerator(train_packets=0.5)
+
+
+class TestMoonGen:
+    def test_min_gap_is_filler_frame(self):
+        mg = MoonGenGapControl(rate_bps=100e9)
+        assert mg.min_gap_ns() == pytest.approx(64 * 8 / 100e9 * 1e9)
+
+    def test_dedicated_gaps_accurate(self):
+        """On owned hardware, gap error is within one filler frame."""
+        mg = MoonGenGapControl(rate_bps=100e9)
+        gaps = np.full(200, 284.0)
+        gaps[0] = 0.0
+        res = mg.transmit(np.full(200, 1400), gaps)
+        assert np.abs(res.gap_error_ns[1:]).max() <= mg.min_gap_ns()
+
+    def test_shared_port_breaks_gaps(self, rng):
+        """Section 9: the saturated-wire assumption fails under co-tenants."""
+        mg = MoonGenGapControl(rate_bps=100e9)
+        gaps = np.full(500, 284.0)
+        gaps[0] = 0.0
+        sizes = np.full(500, 1400)
+        quiet = mg.transmit(sizes, gaps)
+        bg = PacketArray.uniform(
+            2000, 1500, np.sort(rng.uniform(0, 500 * 284.0, 2000))
+        )
+        loud = mg.transmit(
+            sizes, gaps, shared_port=SharedPort(rate_bps=100e9), background=bg
+        )
+        assert np.abs(loud.gap_error_ns[1:]).mean() > 5 * np.abs(
+            quiet.gap_error_ns[1:]
+        ).mean()
+
+    def test_filler_count_scales_with_gap(self):
+        mg = MoonGenGapControl(rate_bps=100e9)
+        small = mg.transmit(np.full(10, 1400), np.full(10, 200.0))
+        large = mg.transmit(np.full(10, 1400), np.full(10, 2000.0))
+        assert large.n_fillers > small.n_fillers
+
+
+class TestCaptureReplay:
+    def _capture(self, n=500):
+        return PacketArray.uniform(n, 1400, np.arange(n) * 284.0)
+
+    def test_asap_ignores_gaps(self, rng):
+        src = CaptureReplaySource(rate_bps=100e9, policy="asap")
+        out = src.replay(self._capture(), rng)
+        # Everything back-to-back at wire speed.
+        np.testing.assert_allclose(np.diff(out.times_ns), np.full(499, 112.0))
+
+    def test_sleep_pacing_coarse(self, rng):
+        src = CaptureReplaySource(rate_bps=100e9, policy="sleep",
+                                  timer_granularity_ns=50_000.0)
+        out = src.replay(self._capture(), rng)
+        err = (out.times_ns - out.times_ns[0]) - np.arange(500) * 284.0
+        assert np.abs(err).max() > 1_000.0  # tens of µs of overshoot
+
+    def test_busy_pacing_fine(self, rng):
+        src = CaptureReplaySource(rate_bps=100e9, policy="busy",
+                                  busy_granularity_ns=40.0)
+        out = src.replay(self._capture(), rng)
+        gaps = np.diff(out.times_ns)
+        assert np.abs(gaps - 284.0).mean() < 60.0
+
+    def test_busy_beats_sleep(self, rng):
+        cap = self._capture()
+        ref = np.arange(500) * 284.0
+        err = {}
+        for pol in ("sleep", "busy"):
+            src = CaptureReplaySource(rate_bps=100e9, policy=pol)
+            out = src.replay(cap, np.random.default_rng(4))
+            err[pol] = np.abs((out.times_ns - out.times_ns[0]) - ref).mean()
+        assert err["busy"] < err["sleep"] / 10
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="policy"):
+            CaptureReplaySource(rate_bps=1e9, policy="warp")
+
+    def test_empty_capture(self, rng):
+        src = CaptureReplaySource(rate_bps=1e9)
+        assert len(src.replay(self._capture(0), rng)) == 0
+
+
+class TestSplitter:
+    def test_round_robin_partition(self):
+        s = PacketArray.uniform(10, 100, np.arange(10, dtype=float))
+        parts = split_round_robin(s, 3)
+        assert [len(p) for p in parts] == [4, 3, 3]
+        assert sum(len(p) for p in parts) == 10
+
+    def test_tags_carry_replayer_ids(self):
+        s = PacketArray.uniform(10, 100, np.arange(10, dtype=float))
+        parts = split_round_robin(s, 2)
+        assert np.all((parts[0].tags >> 48) == 1)
+        assert np.all((parts[1].tags >> 48) == 2)
+
+    def test_times_preserved(self):
+        s = PacketArray.uniform(10, 100, np.arange(10, dtype=float))
+        parts = split_by_port(s, 2)
+        np.testing.assert_allclose(parts[0].times_ns, s.times_ns[0::2])
+        np.testing.assert_allclose(parts[1].times_ns, s.times_ns[1::2])
+
+    def test_single_node_passthrough(self):
+        s = PacketArray.uniform(5, 100, np.arange(5, dtype=float))
+        parts = split_round_robin(s, 1)
+        assert len(parts) == 1 and len(parts[0]) == 5
+
+    def test_rejects_zero_nodes(self):
+        s = PacketArray.uniform(5, 100, np.arange(5, dtype=float))
+        with pytest.raises(ValueError):
+            split_round_robin(s, 0)

@@ -1,0 +1,46 @@
+"""Unit tests for the hardware catalog."""
+
+import pytest
+
+from repro.net import NIC_CATALOG, SWITCH_CATALOG, nic, switch
+from repro.timing import RealtimeHWStamper, SampledClockStamper
+
+
+class TestCatalog:
+    def test_paper_parts_present(self):
+        for key in ("connectx-5", "connectx-6", "connectx-6-vf", "e810"):
+            assert key in NIC_CATALOG
+        for key in ("tofino2", "cisco-5700"):
+            assert key in SWITCH_CATALOG
+
+    def test_section81_timestamping_difference(self):
+        """E810 real-time vs CX-6 sampled-clock (the paper's §8.1 point)."""
+        assert isinstance(nic("e810").rx_stamper, RealtimeHWStamper)
+        assert isinstance(nic("connectx-6").rx_stamper, SampledClockStamper)
+
+    def test_lookup_errors_list_catalog(self):
+        with pytest.raises(KeyError, match="catalog"):
+            nic("tofino")  # a switch, not a NIC
+        with pytest.raises(KeyError, match="catalog"):
+            switch("e810")
+
+    def test_parts_are_usable_models(self, rng):
+        """Catalog entries plug straight into the node machinery."""
+        import numpy as np
+
+        from repro.net import PacketArray
+        from repro.replay import ChoirNode
+
+        part = nic("connectx-5")
+        node = ChoirNode("n", part.tx)
+        batch = PacketArray.uniform(100, 1400, np.arange(100) * 284.0)
+        node.record(batch, rng)
+        out = node.replay(1e9, rng)
+        stamped = part.rx_stamper.stamp(out.egress.times_ns, rng)
+        assert stamped.shape == (100,)
+
+    def test_vf_slower_than_physical(self):
+        assert (
+            nic("connectx-6-vf").tx.pull_delay_ns
+            > nic("connectx-6").tx.pull_delay_ns
+        )

@@ -1,0 +1,70 @@
+"""Unit tests for the I metric (Equation 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import iat_deltas_ns, iat_variation, max_iat_construction
+
+from .conftest import comb_trial, make_trial
+
+
+class TestIAT:
+    def test_identical_is_zero(self):
+        a = comb_trial(10)
+        assert iat_variation(a, a) == 0.0
+
+    def test_uniform_shift_is_zero(self):
+        """Gaps are shift-invariant."""
+        a = comb_trial(10)
+        assert iat_variation(a, a.shift_ns(1e6)) == 0.0
+
+    def test_uniform_stretch_nonzero(self):
+        a = comb_trial(10, gap_ns=100.0)
+        b = make_trial(np.arange(10) * 110.0)
+        # 9 gaps each off by 10; denominator 900 + 990.
+        assert iat_variation(a, b) == pytest.approx(90.0 / 1890.0)
+
+    def test_first_packet_gap_is_zero_by_definition(self):
+        """g_X0 = 0 via the t_X0 = t_X(-1) base case."""
+        a = make_trial([0.0, 100.0], tags=[7, 8])
+        b = make_trial([50.0, 150.0], tags=[7, 8])
+        np.testing.assert_allclose(iat_deltas_ns(a, b), [0.0, 0.0])
+
+    def test_gap_uses_full_trial_neighbors(self):
+        """g is against the preceding packet of the trial, common or not."""
+        a = make_trial([0.0, 100.0, 200.0], tags=[1, 2, 3])
+        # In B, an extra packet 9 sits between 1 and 2: tag 2's gap is 40.
+        b = make_trial([0.0, 60.0, 100.0, 200.0], tags=[1, 9, 2, 3])
+        deltas = iat_deltas_ns(a, b)
+        # common packets 1,2,3: gaps A = [0,100,100], B = [0,40,100].
+        np.testing.assert_allclose(deltas, [0.0, -60.0, 0.0])
+
+    def test_symmetry(self, rng):
+        a = make_trial(np.sort(rng.uniform(0, 1e6, 40)))
+        b = make_trial(np.sort(rng.uniform(0, 1e6, 40)))
+        assert iat_variation(a, b) == pytest.approx(iat_variation(b, a))
+
+    def test_figure3_construction_attains_one(self):
+        for n in (3, 4, 10, 101):
+            a, b = max_iat_construction(n)
+            assert iat_variation(a, b) == pytest.approx(1.0)
+
+    def test_figure3_rejects_trivial_n(self):
+        """The paper notes n = 2 is the trivial single-IAT case."""
+        with pytest.raises(ValueError, match="more than 2"):
+            max_iat_construction(2)
+
+    def test_bounded_by_one(self, rng):
+        for _ in range(20):
+            a = make_trial(np.sort(rng.uniform(0, 1e5, 25)))
+            b = make_trial(np.sort(rng.uniform(0, 1e5, 25)))
+            assert 0.0 <= iat_variation(a, b) <= 1.0 + 1e-12
+
+    def test_no_common_is_zero(self):
+        a = make_trial([0.0, 1.0], tags=[1, 2])
+        b = make_trial([0.0, 1.0], tags=[3, 4])
+        assert iat_variation(a, b) == 0.0
+
+    def test_instantaneous_trials(self):
+        a = make_trial([5.0, 5.0], tags=[1, 2])
+        assert iat_variation(a, a) == 0.0

@@ -1,0 +1,169 @@
+"""Integration tests: the paper's qualitative results hold in the model.
+
+These run the actual scenario pipelines (at reduced duration for speed —
+the metrics are duration-invariant, see test_scaling_invariance) and
+assert the *shape* claims of the evaluation: who is more consistent than
+whom, which metrics light up where, and the characteristic statistics the
+running text quotes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_scenario, scenario
+
+SCALE = 0.05  # 15 ms captures: ~53k packets per run at 40 Gbps
+
+# Reports are memoized by the runner, so each scenario simulates once for
+# this whole module.
+run = lambda key, n=5: run_scenario(key, duration_scale=SCALE, n_runs=n)
+
+
+class TestLocalSingle:
+    """Section 6.1."""
+
+    def test_no_drops_or_reordering(self):
+        rep = run("local-single")
+        assert np.all(rep.values("U") == 0.0)
+        assert np.all(rep.values("O") == 0.0)
+
+    def test_iat_cluster_at_ten_ns(self):
+        """'Between 92.23% and 92.51% of packets were within 10 ns.'"""
+        pct = run("local-single").pct_iat_within_10ns()
+        assert np.all(pct > 85.0) and np.all(pct < 97.0)
+
+    def test_metric_magnitudes(self):
+        rep = run("local-single")
+        paper = scenario("local-single").paper
+        assert rep.values("I").mean() == pytest.approx(paper.i, rel=0.5)
+        assert rep.values("kappa").mean() == pytest.approx(paper.kappa, abs=0.01)
+
+
+class TestLocalDual:
+    """Section 6.2: parallelism introduces reordering."""
+
+    def test_reordering_appears(self):
+        rep = run("local-dual")
+        assert np.all(rep.values("O") > 0.0)
+        assert np.all(rep.values("U") == 0.0)  # still no drops
+
+    def test_half_the_packets_move(self):
+        """'This is 49.8% of the captured packets.'"""
+        rep = run("local-dual")
+        for p in rep.pairs:
+            frac = p.move_stats.n_moved / p.n_common
+            assert 0.35 < frac < 0.55
+
+    def test_moves_are_block_shaped(self):
+        """Whole bursts move together: distances cluster tightly."""
+        rep = run("local-dual")
+        for p in rep.pairs:
+            ms = p.move_stats
+            if ms.n_moved == 0:
+                continue
+            # Most packets move a similar distance (paper Section 6.2).
+            assert ms.abs_std < ms.abs_mean
+
+    def test_worse_than_single(self):
+        single = run("local-single").values("kappa").mean()
+        dual = run("local-dual").values("kappa").mean()
+        assert dual < single - 0.01
+
+    def test_i_roughly_an_order_worse_than_single(self):
+        single = run("local-single").values("I").mean()
+        dual = run("local-dual").values("I").mean()
+        assert 3 * single < dual < 30 * single
+
+
+class TestFabricVsLocal:
+    """Section 8.1: FABRIC adds IAT deviation over the local testbed."""
+
+    def test_fabric_shared_less_consistent_than_local(self):
+        local = run("local-single")
+        fabric = run("fabric-shared-40g")
+        assert fabric.values("I").mean() > 1.5 * local.values("I").mean()
+        assert fabric.values("kappa").mean() < local.values("kappa").mean()
+
+    def test_fabric_iat_core_much_smaller(self):
+        """Only ~26-48% within 10 ns on FABRIC vs ~92% locally."""
+        local = run("local-single").pct_iat_within_10ns().mean()
+        fabric = run("fabric-shared-40g").pct_iat_within_10ns().mean()
+        assert fabric < local - 30.0
+
+    def test_dedicated_anomaly(self):
+        """The paper's surprise: dedicated NICs measured *worse* than shared."""
+        ded = run("fabric-dedicated-40g").values("kappa").mean()
+        shd = run("fabric-shared-40g").values("kappa").mean()
+        assert ded < shd - 0.05
+
+    def test_anomaly_confirmed_by_retest(self):
+        t1 = run("fabric-dedicated-40g").values("I").mean()
+        t3 = run("fabric-dedicated-40g-2").values("I").mean()
+        assert t3 == pytest.approx(t1, rel=0.5)
+
+    def test_no_drops_in_quiet_fabric(self):
+        for key in ("fabric-dedicated-40g", "fabric-shared-40g",
+                    "fabric-dedicated-80g", "fabric-shared-80g"):
+            assert np.all(run(key).values("U") == 0.0)
+
+
+class TestEightyGbps:
+    """Section 7: 80 Gbps runs."""
+
+    def test_dedicated_and_shared_similar(self):
+        ded = run("fabric-dedicated-80g").values("I").mean()
+        shd = run("fabric-shared-80g").values("I").mean()
+        assert shd == pytest.approx(ded, rel=0.3)
+
+    def test_more_consistent_than_anomalous_40g(self):
+        """'At 80 Gbps the IATs get a little more consistent.'"""
+        i80 = run("fabric-dedicated-80g").values("I").mean()
+        i40 = run("fabric-dedicated-40g").values("I").mean()
+        assert i80 < i40
+
+    def test_kappa_band(self):
+        for key in ("fabric-dedicated-80g", "fabric-shared-80g"):
+            k = run(key).values("kappa").mean()
+            assert 0.90 < k < 0.97  # paper: 0.945-0.947
+
+
+class TestNoise:
+    """Section 7.1."""
+
+    def test_dedicated_unaffected_by_noise(self):
+        quiet = run("fabric-dedicated-80g").values("I").mean()
+        noisy = run("fabric-dedicated-80g-noisy").values("I").mean()
+        assert noisy == pytest.approx(quiet, rel=0.25)
+
+    def test_shared_collapses_under_noise(self):
+        quiet = run("fabric-shared-40g").values("I").mean()
+        noisy = run("fabric-shared-40g-noisy").values("I").mean()
+        assert noisy > 3 * quiet
+
+    def test_first_drops_appear_here(self):
+        """The only environment with non-zero U."""
+        noisy = run("fabric-shared-40g-noisy")
+        assert np.any(noisy.values("U") > 0.0)
+
+    def test_drops_barely_dent_kappa(self):
+        """'Relatively few drops ... very little impact on the kappa.'"""
+        rep = run("fabric-shared-40g-noisy")
+        for p in rep.pairs:
+            v = p.metrics
+            k_without_u = 1 - np.sqrt(v.o**2 + v.l**2 + v.i**2) / 2
+            assert abs(p.kappa - k_without_u) < 1e-3
+
+
+class TestTableTwoOrdering:
+    """The overall consistency ranking of Table 2 is preserved."""
+
+    def test_kappa_ranking(self):
+        k = {key: run(key).values("kappa").mean() for key in (
+            "local-single", "fabric-shared-40g", "fabric-dedicated-80g",
+            "fabric-dedicated-40g", "fabric-shared-40g-noisy",
+        )}
+        # Local best; quiet shared/80G next; anomalous + noisy worst.
+        assert k["local-single"] > k["fabric-shared-40g"]
+        assert k["fabric-shared-40g"] > k["fabric-dedicated-40g"]
+        assert k["fabric-shared-40g"] > k["fabric-shared-40g-noisy"]
+        assert abs(k["fabric-dedicated-40g"] - k["fabric-shared-40g-noisy"]) < 0.1

@@ -1,0 +1,111 @@
+"""Unit tests for the compound κ score (Equation 5) and its extensions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import KappaScaling, MetricVector, kappa_from_vector
+
+
+class TestMetricVector:
+    def test_zero_vector_kappa_one(self):
+        v = MetricVector(0, 0, 0, 0)
+        assert v.kappa() == 1.0
+        assert v.is_identical
+
+    def test_all_ones_kappa_zero(self):
+        v = MetricVector(1, 1, 1, 1)
+        assert v.magnitude == pytest.approx(2.0)
+        assert v.kappa() == pytest.approx(0.0)
+
+    def test_magnitude(self):
+        v = MetricVector(0.3, 0.4, 0.0, 0.0)
+        assert v.magnitude == pytest.approx(0.5)
+        assert v.kappa() == pytest.approx(0.75)
+
+    def test_paper_local_single_example(self):
+        """Section 6.1 run B: I 0.0290, L 2.62e-6 -> kappa 0.9855."""
+        v = MetricVector(0.0, 0.0, 2.62e-6, 0.0290)
+        assert v.kappa() == pytest.approx(0.9855, abs=5e-5)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            MetricVector(1.5, 0, 0, 0)
+        with pytest.raises(ValueError):
+            MetricVector(-0.1, 0, 0, 0)
+        with pytest.raises(ValueError):
+            MetricVector(np.nan, 0, 0, 0)
+
+    def test_as_array(self):
+        v = MetricVector(0.1, 0.2, 0.3, 0.4)
+        np.testing.assert_allclose(v.as_array(), [0.1, 0.2, 0.3, 0.4])
+
+    def test_kappa_in_unit_interval(self, rng):
+        for _ in range(50):
+            u, o, l, i = rng.uniform(0, 1, 4)
+            k = kappa_from_vector(u, o, l, i)
+            assert 0.0 <= k <= 1.0
+
+
+class TestKappaScaling:
+    def test_identity_matches_plain(self):
+        v = MetricVector(0.1, 0.0, 0.2, 0.3)
+        assert v.kappa(KappaScaling()) == pytest.approx(v.kappa())
+
+    def test_sublinear_u_amplifies_drops(self):
+        """Section 8.2: make the presence of any drops matter more."""
+        v = MetricVector(1e-4, 0.0, 0.0, 0.0)
+        plain = v.kappa()
+        scaled = v.kappa(KappaScaling(u_exponent=0.5))
+        assert scaled < plain  # sqrt(1e-4) = 1e-2 >> 1e-4
+
+    def test_weights_shrink_components(self):
+        v = MetricVector(0.0, 0.0, 0.0, 0.5)
+        down = v.kappa(KappaScaling(i_weight=0.5))
+        assert down > v.kappa()
+
+    def test_scaled_kappa_stays_in_range(self, rng):
+        s = KappaScaling(u_exponent=0.5, o_exponent=0.5)
+        for _ in range(50):
+            u, o, l, i = rng.uniform(0, 1, 4)
+            assert 0.0 <= MetricVector(u, o, l, i).kappa(s) <= 1.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            KappaScaling(u_weight=1.5)
+        with pytest.raises(ValueError):
+            KappaScaling(u_weight=-0.1)
+        with pytest.raises(ValueError):
+            KappaScaling(i_exponent=0.0)
+
+    def test_apply_returns_components(self):
+        s = KappaScaling(u_exponent=0.5, l_weight=0.5)
+        u, o, l, i = s.apply(0.04, 0.0, 0.2, 0.1)
+        assert u == pytest.approx(0.2)
+        assert l == pytest.approx(0.1)
+        assert o == 0.0 and i == pytest.approx(0.1)
+
+
+class TestTableTwoConsistency:
+    """κ recomputed from the paper's own Table 2 component values."""
+
+    @pytest.mark.parametrize(
+        "u, o, i, l, kappa",
+        [
+            (0.0, 0.0, 0.0294, 4.27e-6, 0.9853),
+            (0.0, 0.0, 0.4996, 3.07e-5, 0.7426),  # largest residual: 0.0076
+            (0.0, 0.0, 0.0662, 2.24e-5, 0.9669),
+            (0.0, 0.0, 0.1073, 8.20e-6, 0.9463),
+            (0.0, 0.0, 0.1105, 2.26e-5, 0.9448),
+            (0.0, 0.0, 0.1085, 1.37e-5, 0.9458),
+            (1.99e-4, 0.0, 0.5024, 2.04e-5, 0.7488),
+        ],
+    )
+    def test_row_self_consistency(self, u, o, i, l, kappa):
+        """Most Table-2 rows satisfy Eq. 5 within rounding of the means.
+
+        (Means of κ over runs differ slightly from κ of mean components;
+        the tolerance reflects that.)
+        """
+        assert kappa_from_vector(u, o, l, i) == pytest.approx(kappa, abs=0.011)

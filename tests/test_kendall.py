@@ -1,0 +1,109 @@
+"""Unit and property tests for the Kendall-tau ordering alternative."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Trial
+from repro.core.kendall import count_inversions, kendall_tau_distance
+
+from .conftest import make_trial
+
+
+def brute_inversions(seq):
+    seq = list(seq)
+    return sum(
+        1
+        for i in range(len(seq))
+        for j in range(i + 1, len(seq))
+        if seq[i] > seq[j]
+    )
+
+
+class TestCountInversions:
+    def test_sorted(self):
+        assert count_inversions(np.arange(100)) == 0
+
+    def test_reversed(self):
+        n = 50
+        assert count_inversions(np.arange(n)[::-1].copy()) == n * (n - 1) // 2
+
+    def test_small_known(self):
+        assert count_inversions(np.array([2, 0, 1])) == 2
+        assert count_inversions(np.array([1, 3, 2, 0])) == 4
+
+    def test_short(self):
+        assert count_inversions(np.array([])) == 0
+        assert count_inversions(np.array([5])) == 0
+
+    def test_matches_brute_force(self, rng):
+        for _ in range(20):
+            seq = rng.permutation(int(rng.integers(2, 120)))
+            assert count_inversions(seq) == brute_inversions(seq)
+
+    @given(st.permutations(range(60)))
+    @settings(max_examples=80, deadline=None)
+    def test_property_matches_brute_force(self, perm):
+        seq = np.asarray(perm)
+        assert count_inversions(seq) == brute_inversions(seq)
+
+    def test_large_input_fast(self, rng):
+        # O(n log n): a 200k permutation must be quick and exact-typed.
+        seq = rng.permutation(200_000)
+        inv = count_inversions(seq)
+        assert 0 <= inv <= 200_000 * 199_999 // 2
+
+
+class TestKendallTauDistance:
+    def _pair(self, order):
+        n = len(order)
+        a = make_trial(np.arange(n, dtype=float), tags=np.arange(n))
+        b = make_trial(np.arange(n, dtype=float), tags=np.asarray(order))
+        return a, b
+
+    def test_identical_zero(self):
+        a, b = self._pair(range(40))
+        assert kendall_tau_distance(a, b) == 0.0
+
+    def test_reversal_one(self):
+        a, b = self._pair(list(range(40))[::-1])
+        assert kendall_tau_distance(a, b) == 1.0
+
+    def test_symmetric(self, rng):
+        a, b = self._pair(rng.permutation(50))
+        assert kendall_tau_distance(a, b) == pytest.approx(
+            kendall_tau_distance(b, a)
+        )
+
+    def test_trivial_sizes(self):
+        a, b = self._pair([0])
+        assert kendall_tau_distance(a, b) == 0.0
+
+    def test_single_displacement_agrees_with_O_shape(self):
+        """A lone packet moved k positions: both metrics scale with k."""
+        from repro.core import ordering_variation
+
+        taus, os_ = [], []
+        for k in (2, 8, 20):
+            order = list(range(40))
+            x = order.pop(0)
+            order.insert(k, x)
+            a, b = self._pair(order)
+            taus.append(kendall_tau_distance(a, b))
+            os_.append(ordering_variation(a, b))
+        assert taus == sorted(taus)
+        assert os_ == sorted(os_)
+
+    def test_block_swap_diverges_from_O(self):
+        """Swapping two large blocks: tau charges every cross pair."""
+        from repro.core import ordering_variation
+
+        b1, b2 = list(range(0, 20)), list(range(20, 40))
+        order = b2 + b1  # block swap
+        a, b = self._pair(order)
+        tau = kendall_tau_distance(a, b)
+        o = ordering_variation(a, b)
+        # tau: 400 inverted pairs of 780 ~ 0.51; O: 20 moves of 20 of 820.
+        assert tau > 0.45
+        assert o < tau  # the edit script is cheaper than the pair count

@@ -1,0 +1,91 @@
+"""Unit tests for the L metric (Equation 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    latency_deltas_ns,
+    latency_variation,
+    max_latency_construction,
+)
+
+from .conftest import comb_trial, make_trial
+
+
+class TestLatency:
+    def test_identical_is_zero(self):
+        a = comb_trial(10)
+        assert latency_variation(a, a) == 0.0
+
+    def test_uniform_shift_is_zero(self):
+        """l is relative to the trial start, so a pure shift cancels."""
+        a = comb_trial(10)
+        b = a.shift_ns(5_000.0)
+        assert latency_variation(a, b) == pytest.approx(0.0, abs=1e-15)
+
+    def test_known_value(self):
+        # A: packets at 0, 100; B: 0, 150 -> |delta l| = 50 for packet 1.
+        a = make_trial([0.0, 100.0], tags=[1, 2])
+        b = make_trial([0.0, 150.0], tags=[1, 2])
+        # denominator: 2 * max(150 - 0, 100 - 0) = 300.
+        assert latency_variation(a, b) == pytest.approx(50.0 / 300.0)
+
+    def test_symmetry(self, rng):
+        a = make_trial(np.sort(rng.uniform(0, 1e6, 50)))
+        b = make_trial(np.sort(rng.uniform(0, 1e6, 50)))
+        assert latency_variation(a, b) == pytest.approx(latency_variation(b, a))
+
+    def test_figure2_construction_attains_one(self):
+        for n in (1, 2, 10, 137):
+            a, b = max_latency_construction(n)
+            assert latency_variation(a, b) == pytest.approx(1.0)
+
+    def test_figure2_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            max_latency_construction(0)
+        with pytest.raises(ValueError):
+            max_latency_construction(5, span_ns=0.0)
+
+    def test_bounded_by_one(self, rng):
+        for _ in range(20):
+            a = make_trial(np.sort(rng.uniform(0, 1e6, 30)))
+            b = make_trial(np.sort(rng.uniform(0, 1e6, 30)))
+            assert 0.0 <= latency_variation(a, b) <= 1.0 + 1e-12
+
+    def test_deltas_series(self):
+        a = make_trial([0.0, 100.0, 200.0], tags=[1, 2, 3])
+        b = make_trial([0.0, 120.0, 190.0], tags=[1, 2, 3])
+        np.testing.assert_allclose(latency_deltas_ns(a, b), [0.0, 20.0, -10.0])
+
+    def test_deltas_only_common(self):
+        a = make_trial([0.0, 100.0], tags=[1, 2])
+        b = make_trial([0.0, 100.0], tags=[1, 9])
+        assert latency_deltas_ns(a, b).shape == (1,)
+
+    def test_no_common_is_zero(self):
+        a = make_trial([0.0], tags=[1])
+        b = make_trial([0.0], tags=[2])
+        assert latency_variation(a, b) == 0.0
+
+    def test_instantaneous_trials(self):
+        a = make_trial([5.0, 5.0], tags=[1, 2])
+        assert latency_variation(a, a) == 0.0
+
+    def test_nested_trial_counterexample_stays_bounded(self):
+        """Regression: Eq. 3 as printed exceeds 1 when B nests inside A.
+
+        A = {tag0@0, tag1@2}, B = {tag1@1}: the common packet has
+        |l_A - l_B| = 2 but both cross spans are 1, so the paper's
+        denominator gives L = 2.  Our span-extended denominator keeps the
+        metric in [0, 1] (here: 2/2 = 1, the true worst case).
+        """
+        a = make_trial([0.0, 2.0], tags=[0, 1])
+        b = make_trial([1.0], tags=[1])
+        assert latency_variation(a, b) == pytest.approx(1.0)
+
+    def test_extension_matches_paper_on_aligned_trials(self):
+        """For co-starting trials the extended denominator is the paper's."""
+        a = make_trial([0.0, 100.0], tags=[1, 2])
+        b = make_trial([0.0, 150.0], tags=[1, 2])
+        # max(150, 100, 100, 150) == max(150, 100): unchanged.
+        assert latency_variation(a, b) == pytest.approx(50.0 / 300.0)

@@ -1,0 +1,226 @@
+"""Unit tests for the network substrate: pktarray, link, nic, sriov, switch."""
+
+import numpy as np
+import pytest
+
+from repro.net import (
+    CISCO_5700,
+    TOFINO2,
+    Link,
+    PacketArray,
+    RxNicModel,
+    SharedPort,
+    SwitchModel,
+    TxNicModel,
+    make_tags,
+)
+from repro.timing import RealtimeHWStamper
+
+
+class TestMakeTags:
+    def test_unique(self):
+        t = make_tags(1000)
+        assert np.unique(t).shape == (1000,)
+
+    def test_replayer_id_in_high_bits(self):
+        t = make_tags(10, replayer_id=3)
+        assert np.all((t >> 48) == 3)
+        np.testing.assert_array_equal(t & ((1 << 48) - 1), np.arange(10))
+
+    def test_different_replayers_never_collide(self):
+        a = make_tags(100, replayer_id=1)
+        b = make_tags(100, replayer_id=2)
+        assert np.intersect1d(a, b).shape == (0,)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            make_tags(-1)
+        with pytest.raises(ValueError):
+            make_tags(10, replayer_id=1 << 15)
+        with pytest.raises(ValueError):
+            make_tags(10, start=2**48 - 5)
+
+
+class TestPacketArray:
+    def test_uniform(self):
+        b = PacketArray.uniform(5, 1400, np.arange(5) * 100.0)
+        assert len(b) == 5
+        assert b.total_bytes == 7000
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            PacketArray(np.arange(3), np.full(2, 100), np.zeros(3))
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ValueError):
+            PacketArray(np.arange(2), np.array([100, 0]), np.zeros(2))
+
+    def test_rejects_decreasing_times(self):
+        with pytest.raises(ValueError):
+            PacketArray.uniform(2, 100, np.array([10.0, 5.0]))
+
+    def test_with_times(self):
+        b = PacketArray.uniform(3, 100, np.zeros(3))
+        b2 = b.with_times(np.arange(3, dtype=float))
+        assert b2.tags is b.tags
+        np.testing.assert_allclose(b2.times_ns, [0, 1, 2])
+
+    def test_select(self):
+        b = PacketArray.uniform(5, 100, np.arange(5, dtype=float))
+        s = b.select(np.array([True, False, True, False, False]))
+        assert len(s) == 2
+        np.testing.assert_array_equal(s.tags, b.tags[[0, 2]])
+
+    def test_merge_orders_by_time(self):
+        a = PacketArray.uniform(3, 100, np.array([0.0, 10.0, 20.0]), replayer_id=1)
+        b = PacketArray.uniform(3, 100, np.array([5.0, 15.0, 25.0]), replayer_id=2)
+        merged, src = PacketArray.merge([a, b])
+        assert np.all(np.diff(merged.times_ns) >= 0)
+        np.testing.assert_array_equal(src, [0, 1, 0, 1, 0, 1])
+
+    def test_merge_empty_list(self):
+        merged, src = PacketArray.merge([])
+        assert len(merged) == 0 and src.shape == (0,)
+
+    def test_merge_stable_on_ties(self):
+        a = PacketArray.uniform(1, 100, np.array([5.0]), replayer_id=1)
+        b = PacketArray.uniform(1, 100, np.array([5.0]), replayer_id=2)
+        _, src = PacketArray.merge([a, b])
+        np.testing.assert_array_equal(src, [0, 1])
+
+
+class TestLink:
+    def test_serialization_and_propagation(self):
+        link = Link(rate_bps=100e9, propagation_ns=50.0)
+        b = PacketArray.uniform(2, 1400, np.array([0.0, 1000.0]))
+        out = link.traverse(b)
+        np.testing.assert_allclose(out.times_ns, [162.0, 1162.0])
+
+    def test_queue_buildup_at_saturation(self):
+        link = Link(rate_bps=100e9, propagation_ns=0.0)
+        # Packets arrive every 50 ns but need 112 ns each: queue grows.
+        b = PacketArray.uniform(100, 1400, np.arange(100) * 50.0)
+        out = link.traverse(b)
+        np.testing.assert_allclose(np.diff(out.times_ns), np.full(99, 112.0))
+
+    def test_utilization(self):
+        link = Link(rate_bps=100e9)
+        b = PacketArray.uniform(100, 1400, np.arange(100) * 280.0)
+        assert link.utilization(b) == pytest.approx(0.4, rel=0.05)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            Link(rate_bps=0)
+        with pytest.raises(ValueError):
+            Link(rate_bps=1e9, propagation_ns=-1)
+
+
+class TestTxNic:
+    def test_pull_delay_applied(self, rng):
+        nic = TxNicModel(rate_bps=100e9, pull_delay_ns=600.0, pull_jitter=0.0)
+        r = nic.transmit(np.zeros(1), np.array([1400]), np.zeros(1, dtype=int), rng)
+        assert r.wire_times_ns[0] == pytest.approx(600.0 + 112.0)
+
+    def test_burst_leaves_back_to_back(self, rng):
+        nic = TxNicModel(rate_bps=100e9, pull_delay_ns=600.0, pull_jitter=0.3)
+        notify = np.zeros(64)
+        r = nic.transmit(notify, np.full(64, 1400), np.zeros(64, dtype=int), rng)
+        np.testing.assert_allclose(np.diff(r.wire_times_ns), np.full(63, 112.0))
+
+    def test_doorbell_is_last_notify_of_burst(self, rng):
+        nic = TxNicModel(rate_bps=100e9, pull_delay_ns=100.0, pull_jitter=0.0)
+        notify = np.array([0.0, 500.0])  # one burst, posted over 500 ns
+        r = nic.transmit(notify, np.full(2, 1400), np.zeros(2, dtype=int), rng)
+        # Pull at 500 + 100; first wire completion 112 later.
+        assert r.wire_times_ns[0] == pytest.approx(712.0)
+
+    def test_bursts_serve_in_order(self, rng):
+        nic = TxNicModel(rate_bps=100e9, pull_delay_ns=500.0, pull_jitter=0.5)
+        notify = np.arange(10, dtype=float) * 10.0
+        bids = np.arange(10)  # ten single-packet bursts
+        r = nic.transmit(notify, np.full(10, 1400), bids, rng)
+        assert np.all(np.diff(r.wire_times_ns) >= 0)
+
+    def test_rejects_decreasing_burst_ids(self, rng):
+        nic = TxNicModel(rate_bps=100e9)
+        with pytest.raises(ValueError):
+            nic.transmit(np.zeros(2), np.full(2, 100), np.array([1, 0]), rng)
+
+    def test_empty(self, rng):
+        nic = TxNicModel(rate_bps=100e9)
+        r = nic.transmit(np.array([]), np.array([]), np.array([]), rng)
+        assert r.n_packets == 0
+
+
+class TestRxNic:
+    def test_uses_stamper(self, rng):
+        nic = RxNicModel(stamper=RealtimeHWStamper(jitter_ns=0.0, resolution_ns=1.0))
+        out = nic.receive(np.array([10.4, 20.9]), rng)
+        np.testing.assert_allclose(out, [10.0, 20.0])
+
+
+class TestSharedPort:
+    def test_no_background_is_plain_fifo(self):
+        port = SharedPort(rate_bps=100e9)
+        fg = PacketArray.uniform(10, 1400, np.arange(10) * 300.0)
+        r = port.traverse(fg)
+        assert r.n_dropped == 0
+        assert r.background_load == 0.0
+
+    def test_background_delays_foreground(self, rng):
+        port = SharedPort(rate_bps=100e9)
+        fg = PacketArray.uniform(100, 1400, np.arange(100) * 300.0)
+        bg = PacketArray.uniform(
+            300, 1500, np.sort(rng.uniform(0, 30_000, 300))
+        )
+        quiet = port.traverse(fg).batch.times_ns
+        loud = port.traverse(fg, bg).batch.times_ns
+        assert np.all(loud >= quiet - 1e-9)
+        assert loud.mean() > quiet.mean()
+
+    def test_finite_vf_queue_drops(self):
+        port = SharedPort(rate_bps=100e9, vf_queue_packets=8)
+        # A giant simultaneous burst can't all fit.
+        fg = PacketArray.uniform(100, 1400, np.zeros(100))
+        r = port.traverse(fg, PacketArray.uniform(1, 1500, np.zeros(1)))
+        assert r.n_dropped > 0
+        assert len(r.batch) == 100 - r.n_dropped
+
+    def test_output_preserves_foreground_order(self, rng):
+        port = SharedPort(rate_bps=100e9)
+        fg = PacketArray.uniform(50, 1400, np.arange(50) * 200.0)
+        bg = PacketArray.uniform(50, 1500, np.sort(rng.uniform(0, 10_000, 50)))
+        out = port.traverse(fg, bg).batch
+        np.testing.assert_array_equal(out.tags, fg.tags)
+        assert np.all(np.diff(out.times_ns) >= 0)
+
+
+class TestSwitch:
+    def test_fixed_latency(self, rng):
+        sw = SwitchModel("t", pipeline_latency_ns=400.0, jitter_ns=0.0,
+                         egress_rate_bps=100e9)
+        b = PacketArray.uniform(2, 1400, np.array([0.0, 1000.0]))
+        out = sw.forward(b, rng)
+        np.testing.assert_allclose(out.times_ns, [512.0, 1512.0])
+
+    def test_merge_two_ingress(self, rng):
+        sw = TOFINO2
+        a = PacketArray.uniform(10, 1400, np.arange(10) * 560.0, replayer_id=1)
+        b = PacketArray.uniform(10, 1400, np.arange(10) * 560.0 + 280.0, replayer_id=2)
+        out = sw.forward_merged([a, b], rng)
+        assert len(out) == 20
+        assert np.all(np.diff(out.times_ns) >= 0)
+
+    def test_jitter_never_reorders(self, rng):
+        sw = SwitchModel("j", pipeline_latency_ns=100.0, jitter_ns=50.0,
+                         egress_rate_bps=100e9)
+        b = PacketArray.uniform(500, 1400, np.arange(500) * 120.0)
+        out = sw.forward(b, rng)
+        assert np.all(np.diff(out.times_ns) >= 0)
+
+    def test_models_exist(self):
+        assert TOFINO2.pipeline_latency_ns < CISCO_5700.pipeline_latency_ns
+
+    def test_empty_ingress(self, rng):
+        out = TOFINO2.forward_merged([], rng)
+        assert len(out) == 0

@@ -1,0 +1,115 @@
+"""Unit and property tests for the FIFO service primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.net import fifo_departures, fifo_tail_drop
+
+
+def reference_fifo(ready, service):
+    """The textbook sequential recurrence, for cross-validation."""
+    done = np.empty_like(ready)
+    last = -np.inf
+    for i in range(ready.shape[0]):
+        start = max(ready[i], last)
+        last = start + service[i]
+        done[i] = last
+    return done
+
+
+class TestFifoDepartures:
+    def test_empty(self):
+        assert fifo_departures(np.array([]), np.array([])).shape == (0,)
+
+    def test_no_queueing(self):
+        ready = np.array([0.0, 100.0, 200.0])
+        svc = np.array([10.0, 10.0, 10.0])
+        np.testing.assert_allclose(fifo_departures(ready, svc), [10.0, 110.0, 210.0])
+
+    def test_back_to_back(self):
+        ready = np.zeros(4)
+        svc = np.full(4, 10.0)
+        np.testing.assert_allclose(fifo_departures(ready, svc), [10, 20, 30, 40])
+
+    def test_matches_reference(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(1, 200))
+            ready = np.sort(rng.uniform(0, 1000, n))
+            svc = rng.uniform(0, 20, n)
+            np.testing.assert_allclose(
+                fifo_departures(ready, svc), reference_fifo(ready, svc), rtol=1e-12
+            )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            fifo_departures(np.zeros(3), np.zeros(2))
+
+    @given(
+        hnp.arrays(np.float64, st.integers(1, 100),
+                   elements=st.floats(0, 1e6, allow_nan=False)).map(np.sort),
+        st.floats(0.0, 100.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_matches_reference(self, ready, svc_scalar):
+        svc = np.full(ready.shape[0], svc_scalar)
+        got = fifo_departures(ready, svc)
+        np.testing.assert_allclose(got, reference_fifo(ready, svc), rtol=1e-9)
+        # Output is non-decreasing and every packet departs after arrival.
+        assert np.all(np.diff(got) >= -1e-9)
+        assert np.all(got >= ready + svc - 1e-9)
+
+
+class TestTailDrop:
+    def test_no_drops_under_capacity(self):
+        ready = np.arange(10) * 100.0
+        svc = np.full(10, 10.0)
+        r = fifo_tail_drop(ready, svc, queue_capacity=4)
+        assert r.n_dropped == 0
+        np.testing.assert_allclose(r.done_ns, fifo_departures(ready, svc))
+
+    def test_burst_overflow_drops_tail(self):
+        # 100 simultaneous arrivals into an 8-deep queue: 8 accepted.
+        r = fifo_tail_drop(np.zeros(100), np.full(100, 10.0), queue_capacity=8)
+        assert r.accepted.sum() == 8
+        assert r.n_dropped == 92
+        np.testing.assert_array_equal(np.flatnonzero(r.accepted), np.arange(8))
+
+    def test_queue_drains_and_reaccepts(self):
+        # Two bursts separated by enough time to drain the queue.
+        ready = np.concatenate([np.zeros(4), np.full(4, 1000.0)])
+        svc = np.full(8, 10.0)
+        r = fifo_tail_drop(ready, svc, queue_capacity=2)
+        # 2 of each burst accepted.
+        assert r.accepted.sum() == 4
+
+    def test_capacity_one_is_strictest(self):
+        ready = np.array([0.0, 1.0, 50.0])
+        svc = np.full(3, 10.0)
+        r = fifo_tail_drop(ready, svc, queue_capacity=1)
+        # Packet 1 arrives while packet 0 is in service -> dropped.
+        np.testing.assert_array_equal(r.accepted, [True, False, True])
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            fifo_tail_drop(np.zeros(1), np.zeros(1), queue_capacity=0)
+
+    @given(
+        hnp.arrays(np.float64, st.integers(1, 120),
+                   elements=st.floats(0, 1e4, allow_nan=False)).map(np.sort),
+        st.integers(1, 16),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_accepted_subset_served_in_order(self, ready, cap):
+        svc = np.full(ready.shape[0], 25.0)
+        r = fifo_tail_drop(ready, svc, queue_capacity=cap)
+        assert r.done_ns.shape[0] == int(r.accepted.sum())
+        assert np.all(np.diff(r.done_ns) >= -1e-9)
+        # Accepted packets obey the plain FIFO law among themselves.
+        kept_ready = ready[r.accepted]
+        kept_svc = svc[r.accepted]
+        np.testing.assert_allclose(
+            r.done_ns, fifo_departures(kept_ready, kept_svc), rtol=1e-9
+        )

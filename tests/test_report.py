@@ -1,0 +1,81 @@
+"""Unit tests for the pair/series comparison drivers."""
+
+import numpy as np
+import pytest
+
+from repro.core import KappaScaling, compare_series, compare_trials
+
+from .conftest import comb_trial, make_trial
+
+
+class TestPairReport:
+    def test_identical_pair(self):
+        a = comb_trial(50, label="A")
+        r = compare_trials(a, a.relabel("B"))
+        assert r.metrics.is_identical
+        assert r.kappa == 1.0
+        assert r.pct_iat_within_10ns == 100.0
+        assert r.n_missing == 0
+
+    def test_drop_reflected_everywhere(self):
+        a = comb_trial(20, label="A")
+        b = a.drop_packets([3, 7]).relabel("B")
+        r = compare_trials(a, b)
+        assert r.n_missing == 2
+        assert r.metrics.u == pytest.approx(1 - 2 * 18 / 38)
+        assert r.n_common == 18
+
+    def test_row_keys(self):
+        a = comb_trial(5, label="A")
+        row = compare_trials(a, a.relabel("B")).row()
+        assert set(row) >= {"run", "U", "O", "I", "L", "kappa", "pct_iat_10ns"}
+
+    def test_kappa_scaled(self):
+        a = comb_trial(20, label="A")
+        b = a.drop_packets([3]).relabel("B")
+        r = compare_trials(a, b)
+        assert r.kappa_scaled(KappaScaling(u_exponent=0.5)) < r.kappa
+
+    def test_histograms_attached(self):
+        a = comb_trial(10, label="A")
+        b = make_trial(np.arange(10) * 100.0 + np.linspace(0, 50, 10), label="B")
+        r = compare_trials(a, b)
+        assert r.iat_hist.n_total == 10
+        assert r.latency_hist.n_total == 10
+
+
+class TestSeriesReport:
+    def test_labels_defaulted(self):
+        trials = [comb_trial(10) for _ in range(4)]
+        rep = compare_series(trials, environment="env")
+        assert rep.baseline_label == "A"
+        assert [p.run_label for p in rep.pairs] == ["B", "C", "D"]
+
+    def test_existing_labels_kept(self):
+        trials = [comb_trial(10, label=f"run{i}") for i in range(3)]
+        rep = compare_series(trials)
+        assert rep.baseline_label == "run0"
+        assert [p.run_label for p in rep.pairs] == ["run1", "run2"]
+
+    def test_needs_two_trials(self):
+        with pytest.raises(ValueError, match="baseline plus"):
+            compare_series([comb_trial(5)])
+
+    def test_values_accessor(self):
+        trials = [comb_trial(10) for _ in range(3)]
+        rep = compare_series(trials)
+        np.testing.assert_allclose(rep.values("kappa"), [1.0, 1.0])
+        np.testing.assert_allclose(rep.values("U"), [0.0, 0.0])
+        with pytest.raises(KeyError):
+            rep.values("X")
+
+    def test_mean_row(self):
+        trials = [comb_trial(10) for _ in range(3)]
+        row = compare_series(trials, environment="env").mean_row()
+        assert row["environment"] == "env"
+        assert row["kappa"] == 1.0
+
+    def test_run_rows_length(self):
+        trials = [comb_trial(10) for _ in range(5)]
+        rep = compare_series(trials)
+        assert len(rep.run_rows()) == 4

@@ -1,0 +1,53 @@
+"""Duration-scaling invariance: the justification for reduced-scale runs.
+
+DESIGN.md's substitution table claims that shrinking the capture window at
+constant rates preserves the normalized metrics (all noise processes are
+per-packet or per-time-unit), with the documented exception of the
+clock-step share of L (a fixed-size step normalized by a smaller span).
+These tests pin that claim, which everything else (fast tests, default
+benchmark scale) relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import compare_series
+from repro.testbeds import Testbed, local_single_replayer
+from repro.testbeds.fabric import fabric_shared_40g
+
+
+def _mean_metrics(profile, seed, n_runs=4):
+    trials = Testbed(profile, seed=seed).run_series(n_runs)
+    rep = compare_series(trials)
+    return {
+        "I": rep.values("I").mean(),
+        "pct10": rep.pct_iat_within_10ns().mean(),
+        "kappa": rep.values("kappa").mean(),
+    }
+
+
+class TestScalingInvariance:
+    def test_local_I_and_pct10_invariant(self):
+        p = local_single_replayer()
+        small = _mean_metrics(p.at_duration(8e6), seed=1)
+        large = _mean_metrics(p.at_duration(48e6), seed=2)
+        assert small["I"] == pytest.approx(large["I"], rel=0.25)
+        assert small["pct10"] == pytest.approx(large["pct10"], abs=2.0)
+
+    def test_fabric_I_invariant(self):
+        p = fabric_shared_40g()
+        small = _mean_metrics(p.at_duration(8e6), seed=3)
+        large = _mean_metrics(p.at_duration(48e6), seed=4)
+        assert small["I"] == pytest.approx(large["I"], rel=0.3)
+
+    def test_kappa_stable_across_scale(self):
+        p = local_single_replayer()
+        small = _mean_metrics(p.at_duration(8e6), seed=5)
+        large = _mean_metrics(p.at_duration(48e6), seed=6)
+        assert small["kappa"] == pytest.approx(large["kappa"], abs=0.01)
+
+    def test_packet_count_scales_linearly(self):
+        p = local_single_replayer()
+        n_small = len(Testbed(p.at_duration(5e6), seed=7).run_series(1)[0])
+        n_large = len(Testbed(p.at_duration(20e6), seed=7).run_series(1)[0])
+        assert n_large == pytest.approx(4 * n_small, rel=0.01)

@@ -1,0 +1,90 @@
+"""Unit tests for JSON profile serialization."""
+
+import json
+
+import pytest
+
+from repro.experiments import SCENARIOS
+from repro.generators import IMIXGenerator
+from repro.testbeds import (
+    load_profile,
+    local_single_replayer,
+    profile_from_dict,
+    profile_to_dict,
+    save_profile,
+)
+from repro.testbeds.fabric import fabric_intersite_40g, fabric_shared_40g_noisy
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("sc", SCENARIOS, ids=lambda s: s.key)
+    def test_all_scenarios_roundtrip(self, sc):
+        p = sc.build()
+        assert profile_from_dict(profile_to_dict(p)) == p
+
+    def test_wan_profile_roundtrips(self):
+        p = fabric_intersite_40g(ecmp_paths=4)
+        assert profile_from_dict(profile_to_dict(p)) == p
+
+    def test_json_serializable(self):
+        d = profile_to_dict(fabric_shared_40g_noisy())
+        json.dumps(d)  # no numpy scalars / objects leak through
+
+    def test_file_roundtrip(self, tmp_path):
+        p = local_single_replayer()
+        path = save_profile(p, tmp_path / "env.json")
+        assert load_profile(path) == p
+
+    def test_equivalent_simulation(self, tmp_path):
+        """A reloaded profile produces bit-identical trials."""
+        import numpy as np
+
+        from repro.testbeds import Testbed
+
+        p = local_single_replayer().at_duration(2e6)
+        q = load_profile(save_profile(p, tmp_path / "env.json"))
+        a = Testbed(p, seed=4).run_series(2)
+        b = Testbed(q, seed=4).run_series(2)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.times_ns, y.times_ns)
+
+
+class TestValidation:
+    def test_workload_rejected(self):
+        from dataclasses import replace
+
+        p = replace(local_single_replayer(), workload=IMIXGenerator(pps=1e6))
+        with pytest.raises(ValueError, match="workload"):
+            profile_to_dict(p)
+
+    def test_unknown_profile_key_rejected(self):
+        d = profile_to_dict(local_single_replayer())
+        d["surprise"] = 1
+        with pytest.raises(ValueError, match="unknown keys"):
+            profile_from_dict(d)
+
+    def test_unknown_nested_key_rejected(self):
+        d = profile_to_dict(local_single_replayer())
+        d["loop_cost"]["warp_factor"] = 9
+        with pytest.raises(ValueError, match="loop_cost.*unknown"):
+            profile_from_dict(d)
+
+    def test_unknown_stamper_type_rejected(self):
+        d = profile_to_dict(local_single_replayer())
+        d["rx_stamper"]["type"] = "quantum"
+        with pytest.raises(ValueError, match="unknown type"):
+            profile_from_dict(d)
+
+    def test_stamper_type_tag_distinguishes(self):
+        local = profile_to_dict(local_single_replayer())
+        assert local["rx_stamper"]["type"] == "realtime-hw"
+        from repro.testbeds import fabric_shared_40g
+
+        fabric = profile_to_dict(fabric_shared_40g())
+        assert fabric["rx_stamper"]["type"] == "sampled-clock"
+
+    def test_hand_written_minimal_profile(self):
+        """A minimal JSON (name + rate) builds with defaults."""
+        p = profile_from_dict({"name": "mini", "rate_bps": 10e9})
+        assert p.name == "mini"
+        assert p.n_replayers == 1

@@ -1,0 +1,111 @@
+"""Unit tests for the TCP connection-level replay baseline."""
+
+import numpy as np
+import pytest
+
+from repro.generators import (
+    TCPConnectionRecord,
+    TCPConnectionReplayer,
+    synthesize_connections,
+)
+from repro.generators.tcpconn import CTRL_BYTES
+from repro.net import PacketArray
+
+
+class TestConnectionRecord:
+    def test_segmentation(self):
+        r = TCPConnectionRecord(0, 0.0, 1e6, bytes_a_to_b=4000, mss=1448)
+        assert r.n_data_segments == 3  # 1448 + 1448 + 1104
+
+    def test_empty_connection(self):
+        r = TCPConnectionRecord(0, 0.0, 1e6, bytes_a_to_b=0)
+        assert r.n_data_segments == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TCPConnectionRecord(0, 0.0, 0.0, 100)
+        with pytest.raises(ValueError):
+            TCPConnectionRecord(0, 0.0, 1.0, -1)
+
+
+class TestSynthesize:
+    def test_basic_properties(self, rng):
+        recs = synthesize_connections(100, rng, window_ns=5e6)
+        assert len(recs) == 100
+        starts = [r.start_ns for r in recs]
+        assert starts == sorted(starts)
+        assert all(0 <= s <= 5e6 for s in starts)
+        assert all(r.bytes_a_to_b >= 0 for r in recs)
+
+    def test_heavy_tailed_sizes(self, rng):
+        recs = synthesize_connections(500, rng, mean_bytes=1e5)
+        sizes = np.array([r.bytes_a_to_b for r in recs])
+        assert sizes.max() > 10 * np.median(sizes)  # lognormal tail
+
+    def test_needs_one(self, rng):
+        with pytest.raises(ValueError):
+            synthesize_connections(0, rng)
+
+
+class TestReplay:
+    def test_connection_structure(self):
+        r = TCPConnectionRecord(7, 1000.0, 1e6, bytes_a_to_b=3000, mss=1448)
+        out = TCPConnectionReplayer().replay_connection(r)
+        # SYN + 3 data + FIN.
+        assert len(out) == 5
+        assert out.sizes[0] == CTRL_BYTES and out.sizes[-1] == CTRL_BYTES
+        assert out.times_ns[0] == 1000.0
+        # Byte stream is preserved exactly after resegmentation.
+        data_bytes = int(out.sizes[1:-1].sum()) - 3 * 52
+        assert data_bytes == 3000
+
+    def test_handshake_rtt_gap(self):
+        r = TCPConnectionRecord(0, 0.0, 1e6, bytes_a_to_b=1448)
+        eng = TCPConnectionReplayer(rtt_ns=123_456.0)
+        out = eng.replay_connection(r)
+        assert out.times_ns[1] - out.times_ns[0] == pytest.approx(123_456.0)
+
+    def test_gap_floor_enforced(self):
+        """DETER's 5 µs floor: short connections cannot be packed tighter."""
+        r = TCPConnectionRecord(0, 0.0, 1e4, bytes_a_to_b=14480)  # wants 1 µs gaps
+        eng = TCPConnectionReplayer(min_gap_ns=5_000.0)
+        out = eng.replay_connection(r)
+        data_gaps = np.diff(out.times_ns[1:-1])
+        assert np.all(data_gaps >= 5_000.0 - 1e-9)
+
+    def test_merged_log_ordered(self, rng):
+        recs = synthesize_connections(50, rng)
+        out = TCPConnectionReplayer().replay(recs)
+        assert np.all(np.diff(out.times_ns) >= 0)
+        # Tags unique across connections.
+        assert np.unique(out.tags).shape[0] == len(out)
+
+    def test_replay_empty_log_rejected(self):
+        with pytest.raises(ValueError):
+            TCPConnectionReplayer().replay([])
+
+    def test_non_tcp_rejected(self):
+        """Section 9: 'Both are limited to TCP traffic.'"""
+        eng = TCPConnectionReplayer()
+        cap = PacketArray.uniform(3, 1400, np.arange(3, dtype=float))
+        protocols = np.array([6, 17, 6])  # one UDP packet
+        with pytest.raises(ValueError, match="only TCP"):
+            eng.replay_capture(cap, protocols)
+
+    def test_tcp_capture_reconstruction_unimplemented(self):
+        eng = TCPConnectionReplayer()
+        cap = PacketArray.uniform(3, 1400, np.arange(3, dtype=float))
+        with pytest.raises(NotImplementedError):
+            eng.replay_capture(cap, np.full(3, 6))
+
+    def test_does_not_replay_specific_packets(self, rng):
+        """TCPOpera semantics: same bytes, different packets.
+
+        Replaying a 'capture' whose original segmentation was 500-byte
+        packets yields MSS-sized segments instead — packet identities and
+        counts differ even though the byte stream matches.
+        """
+        original_packets = 12  # 12 x 500 B = 6000 B
+        r = TCPConnectionRecord(0, 0.0, 1e6, bytes_a_to_b=6000, mss=1448)
+        out = TCPConnectionReplayer().replay_connection(r)
+        assert len(out) - 2 != original_packets  # resegmented: 5 not 12

@@ -1,0 +1,205 @@
+"""Unit tests for the clock substrate (repro.timing)."""
+
+import numpy as np
+import pytest
+
+from repro.timing import (
+    FABRIC_PTP,
+    LOCAL_PTP,
+    TSC,
+    NTPServer,
+    PTPDomain,
+    PTPProfile,
+    RealtimeHWStamper,
+    SampledClockStamper,
+    SystemClock,
+    ntp_discipline,
+)
+
+
+class TestTSC:
+    def test_period(self):
+        assert TSC(frequency_hz=1e9).period_ns == 1.0
+
+    def test_read_is_integer_cycles(self):
+        tsc = TSC(frequency_hz=2.4e9)
+        c = tsc.read(1000.0)
+        assert c == int(1000.0 * 2.4)
+
+    def test_read_vectorized(self):
+        tsc = TSC(frequency_hz=1e9)
+        out = tsc.read(np.array([0.0, 1.5, 2.0]))
+        np.testing.assert_array_equal(out, [0, 1, 2])
+        assert out.dtype == np.int64
+
+    def test_roundtrip_within_period(self):
+        tsc = TSC(frequency_hz=2.4e9)
+        back = tsc.cycles_to_ns(tsc.ns_to_cycles(12345.0))
+        assert abs(back - 12345.0) < tsc.period_ns
+
+    def test_quantize(self):
+        tsc = TSC(frequency_hz=1e9)
+        assert tsc.quantize_ns(5.7) == 5.0
+
+    def test_non_invariant_breaks_conversion(self):
+        """The failure mode Choir's invariance requirement avoids."""
+        good = TSC(frequency_hz=2e9, invariant=True)
+        bad = TSC(frequency_hz=2e9, invariant=False, scale=1.5)
+        t = 1_000_000.0
+        # Software converts with the nominal frequency either way.
+        err_good = abs(float(good.cycles_to_ns(good.read(t))) - t)
+        err_bad = abs(float(bad.cycles_to_ns(bad.read(t))) - t)
+        assert err_good < 1.0
+        assert err_bad > 0.3 * t  # off by the scale factor
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            TSC(frequency_hz=0)
+        with pytest.raises(ValueError):
+            TSC(scale=0)
+
+
+class TestSystemClock:
+    def test_perfect_clock(self):
+        c = SystemClock()
+        assert c.reading_ns(1234.5) == 1234.5
+
+    def test_offset(self):
+        c = SystemClock(offset_ns=100.0)
+        assert c.reading_ns(0.0) == 100.0
+        assert c.error_at(50.0) == pytest.approx(100.0)
+
+    def test_drift_accumulates(self):
+        c = SystemClock(drift_ppm=10.0)
+        assert c.error_at(1e9) == pytest.approx(10_000.0)  # 10 us/s
+
+    def test_vectorized_reading(self):
+        c = SystemClock(offset_ns=5.0, drift_ppm=1.0)
+        t = np.array([0.0, 1e6, 2e6])
+        np.testing.assert_allclose(c.reading_ns(t), t + 5.0 + t * 1e-6)
+
+    def test_wander_requires_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            SystemClock(wander_ppm=1.0)
+
+    def test_wander_is_continuous_and_nonzero(self, rng):
+        c = SystemClock(wander_ppm=5.0, rng=rng)
+        t = np.linspace(0, 1e9, 1000)
+        out = c.reading_ns(t)
+        err = out - t
+        assert np.any(np.abs(err) > 0)
+        # Continuity: neighbouring errors stay close relative to the span.
+        assert np.max(np.abs(np.diff(err))) < 1e6
+
+    def test_set_offset(self):
+        c = SystemClock(offset_ns=99.0)
+        c.set_offset(1.0)
+        assert c.offset_ns == 1.0
+
+
+class TestPTP:
+    def test_profiles_ordering(self):
+        """FABRIC's ptp_kvm chain is coarser than the local grandmaster."""
+        assert FABRIC_PTP.residual_ns > LOCAL_PTP.residual_ns
+
+    def test_sync_sets_offsets(self, rng):
+        dom = PTPDomain(profile=PTPProfile(residual_ns=50.0), rng=rng)
+        c1 = dom.add_follower("a")
+        c2 = dom.add_follower("b")
+        offsets = dom.synchronize_all()
+        assert set(offsets) == {"a", "b"}
+        assert c1.offset_ns == offsets["a"]
+        assert c2.offset_ns == offsets["b"]
+
+    def test_residuals_have_expected_scale(self, rng):
+        dom = PTPDomain(profile=PTPProfile(residual_ns=100.0), rng=rng)
+        dom.add_follower("x")
+        draws = [dom.synchronize_all()["x"] for _ in range(300)]
+        assert np.std(draws) == pytest.approx(100.0, rel=0.2)
+
+    def test_duplicate_follower_rejected(self, rng):
+        dom = PTPDomain(profile=LOCAL_PTP, rng=rng)
+        dom.add_follower("a")
+        with pytest.raises(ValueError):
+            dom.add_follower("a")
+
+    def test_worst_pairwise_offset(self, rng):
+        dom = PTPDomain(profile=PTPProfile(residual_ns=100.0), rng=rng)
+        dom.add_follower("a")
+        dom.add_follower("b")
+        assert dom.worst_pairwise_offset_ns() == 0.0  # before sync
+        dom.synchronize_all()
+        assert dom.worst_pairwise_offset_ns() >= 0.0
+
+    def test_path_asymmetry_biases(self, rng):
+        dom = PTPDomain(
+            profile=PTPProfile(residual_ns=1.0, path_asymmetry_ns=500.0), rng=rng
+        )
+        dom.add_follower("a")
+        offs = [dom.synchronize_all()["a"] for _ in range(50)]
+        assert np.mean(offs) == pytest.approx(500.0, abs=5.0)
+
+
+class TestNTP:
+    def test_stratum_scales_error(self, rng):
+        c = SystemClock()
+        tight = [abs(ntp_discipline(c, NTPServer(stratum=1), rng)) for _ in range(200)]
+        loose = [abs(ntp_discipline(c, NTPServer(stratum=5), rng)) for _ in range(200)]
+        assert np.mean(loose) > np.mean(tight)
+
+    def test_discipline_steps_clock(self, rng):
+        c = SystemClock(offset_ns=1e9)
+        off = ntp_discipline(c, NTPServer(), rng)
+        assert c.offset_ns == off
+        assert abs(off) < 1e9  # stepped away from the wild initial offset
+
+    def test_rejects_bad_stratum(self):
+        with pytest.raises(ValueError):
+            NTPServer(stratum=0)
+        with pytest.raises(ValueError):
+            NTPServer(stratum=16)
+
+
+class TestStampers:
+    def test_realtime_monotone(self, rng):
+        s = RealtimeHWStamper(jitter_ns=5.0)
+        t = np.sort(rng.uniform(0, 1e6, 1000))
+        out = s.stamp(t, rng)
+        assert np.all(np.diff(out) >= 0)
+
+    def test_realtime_zero_jitter_is_quantization_only(self, rng):
+        s = RealtimeHWStamper(jitter_ns=0.0, resolution_ns=10.0)
+        out = s.stamp(np.array([15.0, 23.0]), rng)
+        np.testing.assert_allclose(out, [10.0, 20.0])
+
+    def test_sampled_monotone(self, rng):
+        s = SampledClockStamper()
+        t = np.sort(rng.uniform(0, 1e7, 2000))
+        out = s.stamp(t, rng)
+        assert np.all(np.diff(out) >= 0)
+
+    def test_sampled_error_is_smooth_sawtooth(self, rng):
+        """Between anchors the conversion error varies slowly."""
+        s = SampledClockStamper(
+            jitter_ns=0.0, resolution_ns=0.0, sample_interval_ns=1e6,
+            sample_error_ns=50.0,
+        )
+        t = np.arange(0, 5e6, 1000.0)  # 1 us apart, anchors 1 ms apart
+        err = s.stamp(t, rng) - t
+        # Per-sample error scale is right...
+        assert 5.0 < np.std(err) < 200.0
+        # ...but neighbouring packets see nearly the same error.
+        assert np.median(np.abs(np.diff(err))) < 1.0
+
+    def test_sampled_empty(self, rng):
+        s = SampledClockStamper()
+        assert s.stamp(np.array([]), rng).shape == (0,)
+
+    def test_sampled_adds_more_gap_noise_than_realtime(self, rng):
+        """Section 8.1's recorder difference, in miniature."""
+        t = np.arange(0, 1e6, 284.0)
+        e810 = RealtimeHWStamper(jitter_ns=2.0)
+        cx6 = SampledClockStamper(jitter_ns=14.5)
+        g_real = np.diff(e810.stamp(t, np.random.default_rng(1)))
+        g_samp = np.diff(cx6.stamp(t, np.random.default_rng(2)))
+        assert np.std(g_samp) > np.std(g_real)

@@ -1,0 +1,61 @@
+"""Unit tests for the U metric (Equation 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Trial, uniqueness_variation
+
+from .conftest import comb_trial, make_trial
+
+
+class TestUniqueness:
+    def test_identical_is_zero(self):
+        a = comb_trial(10)
+        assert uniqueness_variation(a, a) == 0.0
+
+    def test_paper_worked_example(self):
+        """Section 3: 10 packets, one dropped in B -> U = 1/19."""
+        a = comb_trial(10, label="A")
+        b = a.drop_packets([4]).relabel("B")
+        assert uniqueness_variation(a, b) == pytest.approx(1.0 / 19.0)
+
+    def test_disjoint_is_one(self):
+        a = make_trial([0, 1], tags=[1, 2])
+        b = make_trial([0, 1], tags=[3, 4])
+        assert uniqueness_variation(a, b) == 1.0
+
+    def test_symmetry(self):
+        a = comb_trial(10)
+        b = a.drop_packets([0, 5])
+        assert uniqueness_variation(a, b) == uniqueness_variation(b, a)
+
+    def test_extra_packets_count(self):
+        """An extra packet in B is as inconsistent as a missing one."""
+        a = comb_trial(10)
+        extra = Trial(
+            np.append(a.tags, 999), np.append(a.times_ns, a.end_ns + 1.0)
+        )
+        assert uniqueness_variation(a, extra) == pytest.approx(1.0 / 21.0)
+
+    def test_both_empty_is_zero(self):
+        e = make_trial([])
+        assert uniqueness_variation(e, e) == 0.0
+
+    def test_one_empty_is_one(self):
+        a = comb_trial(5)
+        e = make_trial([])
+        assert uniqueness_variation(a, e) == 1.0
+
+    def test_order_and_timing_irrelevant(self):
+        """U only sees the packet sets, never order or timestamps."""
+        a = make_trial([0, 1, 2], tags=[1, 2, 3])
+        b = make_trial([100, 500, 777], tags=[3, 1, 2])
+        assert uniqueness_variation(a, b) == 0.0
+
+    def test_range_bounds(self, rng):
+        for _ in range(20):
+            na, nb = rng.integers(1, 30, 2)
+            a = make_trial(np.arange(na, dtype=float), tags=rng.integers(0, 20, na))
+            b = make_trial(np.arange(nb, dtype=float), tags=rng.integers(0, 20, nb))
+            u = uniqueness_variation(a, b)
+            assert 0.0 <= u <= 1.0

@@ -1,0 +1,56 @@
+"""Unit tests for repro.net.units."""
+
+import numpy as np
+import pytest
+
+from repro.net import units
+
+
+class TestConversions:
+    def test_wire_time_1400B_at_100g(self):
+        """1400 B at 100 Gbps = 112 ns on the wire."""
+        assert units.wire_time_ns(1400, 100e9) == pytest.approx(112.0)
+
+    def test_wire_time_with_overhead(self):
+        t = units.wire_time_ns(64, 10e9, overhead_bytes=units.ETH_OVERHEAD_BYTES)
+        assert t == pytest.approx((64 + 20) * 8 / 10e9 * 1e9)
+
+    def test_wire_time_vectorized(self):
+        sizes = np.array([700, 1400])
+        np.testing.assert_allclose(
+            units.wire_time_ns(sizes, 100e9), [56.0, 112.0]
+        )
+
+    def test_paper_packet_rate(self):
+        """40 Gbps of 1400 B packets = 3.57 Mpps (the paper rounds to 3.52)."""
+        pps = units.rate_to_pps(40e9, 1400)
+        assert pps == pytest.approx(3.5714e6, rel=1e-3)
+
+    def test_100g_packet_rate(self):
+        """100 Gbps of 1400 B = 8.9 Mpps, the paper's peak claim."""
+        assert units.rate_to_pps(100e9, 1400) == pytest.approx(8.93e6, rel=1e-3)
+
+    def test_pps_iat_roundtrip(self):
+        pps = units.rate_to_pps(40e9, 1400)
+        iat = units.pps_to_iat_ns(pps)
+        assert iat == pytest.approx(280.0)
+
+    def test_seconds_roundtrip(self):
+        assert units.ns_to_seconds(units.seconds_to_ns(0.3)) == pytest.approx(0.3)
+
+    def test_gbps_mpps_helpers(self):
+        assert units.gbps(40) == 40e9
+        assert units.mpps(3.52) == 3.52e6
+
+    def test_bits(self):
+        assert units.bits(10) == 80
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.wire_time_ns(100, 0)
+        with pytest.raises(ValueError):
+            units.rate_to_pps(0, 100)
+        with pytest.raises(ValueError):
+            units.rate_to_pps(1e9, 0)
+        with pytest.raises(ValueError):
+            units.pps_to_iat_ns(0)

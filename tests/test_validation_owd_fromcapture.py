@@ -1,0 +1,148 @@
+"""Unit tests for validation, OWD analysis, and capture-derived recordings."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import owd_series
+from repro.core import Trial
+from repro.experiments import validate_against_paper
+from repro.experiments.validation import ScenarioVerdict, ValidationResult
+from repro.net import PacketArray, TxNicModel
+from repro.replay import ChoirNode, Replayer, recording_from_trial
+
+from .conftest import comb_trial, make_trial
+
+
+class TestValidation:
+    def test_full_validation_passes(self):
+        result = validate_against_paper(duration_scale=0.05, n_runs=3)
+        assert result.passed, result.render()
+        assert len(result.verdicts) == 9
+
+    def test_render_mentions_every_scenario(self):
+        result = validate_against_paper(duration_scale=0.05, n_runs=3)
+        text = result.render()
+        assert "local-single" in text and "fabric-shared-40g-noisy" in text
+        assert "overall: PASS" in text
+
+    def test_tight_tolerance_fails_loudly(self):
+        result = validate_against_paper(
+            duration_scale=0.05, n_runs=3, kappa_abs_tol=1e-6
+        )
+        assert not result.passed
+        assert any(not v.passed for v in result.verdicts)
+        assert "FAIL" in result.render()
+
+    def test_verdict_structure(self):
+        result = validate_against_paper(duration_scale=0.05, n_runs=3)
+        v = result.verdicts[0]
+        assert isinstance(v, ScenarioVerdict)
+        assert v.failures == ()
+
+    def test_too_small_scale_rejected(self):
+        with pytest.raises(ValueError, match="duration_scale >= 0.05"):
+            validate_against_paper(duration_scale=0.01)
+
+
+class TestOwd:
+    def _setup(self, rng, n=500):
+        node = ChoirNode("r", TxNicModel(rate_bps=100e9))
+        batch = PacketArray.uniform(n, 1400, np.arange(n) * 284.0, replayer_id=1)
+        _, rec = node.record(batch, rng)
+        out = node.replay(1e9, rng)
+        capture = Trial.from_arrival_events(
+            out.egress.tags, out.egress.times_ns + 5_000.0  # 5 us path
+        )
+        return rec, capture
+
+    def test_series_covers_received_packets(self, rng):
+        rec, capture = self._setup(rng)
+        s = owd_series(rec, capture)
+        assert s.n_packets == 500
+        # Packets cannot arrive before the (replayed) epoch.
+        assert np.all(s.rx_ns > s.tx_ns.min())
+
+    def test_drops_absent_from_series(self, rng):
+        rec, capture = self._setup(rng)
+        capture2 = Trial(capture.tags[5:], capture.times_ns[5:])
+        s = owd_series(rec, capture2)
+        assert s.n_packets == 495
+
+    def test_summary_fields(self, rng):
+        rec, capture = self._setup(rng)
+        summ = owd_series(rec, capture).summary()
+        assert summ["n"] == 500
+        assert summ["min_ns"] <= summ["p50_ns"] <= summ["p99_ns"] <= summ["max_ns"]
+
+    def test_trend_detects_relative_drift(self):
+        # Synthetic: tx at 0..N, rx drifting 100 ppm faster.
+        n =10_000
+        tx = np.arange(n) * 284.0
+        tags = np.arange(n)
+        rx = tx * (1 + 100e-6) + 1_000.0
+        from repro.replay import Recording, burstify_fixed
+        from repro.timing import TSC
+
+        rec = Recording.capture(
+            PacketArray(tags, np.full(n, 1400), tx), burstify_fixed(n, 16), tx, TSC()
+        )
+        s = owd_series(rec, Trial(tags, rx))
+        assert s.trend_ppm() == pytest.approx(100.0, rel=0.05)
+
+    def test_empty_overlap(self, rng):
+        rec, _ = self._setup(rng, n=10)
+        other = make_trial(np.arange(5) * 10.0, tags=9_000_000 + np.arange(5))
+        s = owd_series(rec, other)
+        assert s.n_packets == 0
+        assert s.summary() == {"n": 0}
+
+
+class TestRecordingFromTrial:
+    def test_gap_mode_recovers_bursts(self):
+        # A burst-structured capture: 10 bursts of 8.
+        times = []
+        t = 0.0
+        for _ in range(10):
+            for _ in range(8):
+                times.append(t)
+                t += 112.0
+            t += 5_000.0
+        trial = make_trial(times, label="cap")
+        rec = recording_from_trial(trial, burst_mode="gaps")
+        assert rec.n_bursts == 10
+        np.testing.assert_array_equal(rec.burst_sizes(), np.full(10, 8))
+
+    def test_loop_mode_burstifies_smooth_traffic(self):
+        trial = comb_trial(2000, gap_ns=284.0)
+        rec = recording_from_trial(trial, burst_mode="loop")
+        assert 1 < rec.n_bursts < 2000
+
+    def test_replayable_end_to_end(self, rng):
+        trial = comb_trial(1000, gap_ns=284.0)
+        rec = recording_from_trial(trial)
+        out = Replayer(tx_nic=TxNicModel(rate_bps=100e9)).replay(rec, 1e9, rng)
+        assert len(out) == 1000
+        np.testing.assert_array_equal(out.egress.tags, trial.tags)
+
+    def test_per_packet_sizes(self):
+        trial = comb_trial(4)
+        rec = recording_from_trial(trial, sizes=np.array([64, 576, 1500, 64]))
+        np.testing.assert_array_equal(rec.packets.sizes, [64, 576, 1500, 64])
+
+    def test_pcap_to_replay_pipeline(self, rng, tmp_path):
+        """Full loop: trial -> pcap -> reload -> recording -> replay."""
+        from repro.analysis import read_pcap, write_pcap
+
+        trial = comb_trial(200, gap_ns=284.0, label="A")
+        reloaded = read_pcap(write_pcap(trial, tmp_path / "t.pcap")).trial
+        rec = recording_from_trial(reloaded, burst_mode="loop")
+        out = Replayer(tx_nic=TxNicModel(rate_bps=100e9)).replay(rec, 1e9, rng)
+        np.testing.assert_array_equal(np.sort(out.egress.tags), np.sort(trial.tags))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            recording_from_trial(make_trial([]))
+        with pytest.raises(ValueError, match="burst_mode"):
+            recording_from_trial(comb_trial(5), burst_mode="psychic")
+        with pytest.raises(ValueError, match="one entry per packet"):
+            recording_from_trial(comb_trial(5), sizes=np.array([100]))

@@ -1,0 +1,181 @@
+"""Unit tests for the SVG visualization layer."""
+
+import xml.dom.minidom
+
+import numpy as np
+import pytest
+
+from repro.core import DeltaHistogram
+from repro.viz import (
+    LinearScale,
+    LogScale,
+    SvgDocument,
+    SymlogScale,
+    histogram_figure,
+    kappa_bars,
+    series_lines,
+)
+
+
+def parse(svg_text: str):
+    """Parse SVG text; raises on malformed XML."""
+    return xml.dom.minidom.parseString(svg_text)
+
+
+class TestScales:
+    def test_linear_endpoints(self):
+        s = LinearScale(d0=0.0, d1=10.0, p0=100.0, p1=200.0)
+        assert s(0.0) == 100.0
+        assert s(10.0) == 200.0
+        assert s(5.0) == 150.0
+
+    def test_linear_vectorized(self):
+        s = LinearScale(d0=0.0, d1=1.0, p0=0.0, p1=10.0)
+        np.testing.assert_allclose(s(np.array([0.0, 0.5, 1.0])), [0, 5, 10])
+
+    def test_linear_ticks_rounded(self):
+        s = LinearScale(d0=0.0, d1=1.0, p0=0.0, p1=1.0)
+        vals = [v for v, _ in s.ticks(5)]
+        assert 0.0 in vals and max(vals) <= 1.0
+        assert len(vals) <= 7
+
+    def test_linear_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            LinearScale(d0=1.0, d1=1.0, p0=0.0, p1=1.0)
+
+    def test_log_endpoints(self):
+        s = LogScale(d0=1.0, d1=100.0, p0=0.0, p1=100.0)
+        assert s(1.0) == 0.0
+        assert s(100.0) == 100.0
+        assert s(10.0) == pytest.approx(50.0)
+
+    def test_log_ticks_decades(self):
+        s = LogScale(d0=0.01, d1=100.0, p0=0.0, p1=1.0)
+        vals = [v for v, _ in s.ticks()]
+        np.testing.assert_allclose(vals, [0.01, 0.1, 1.0, 10.0, 100.0])
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            LogScale(d0=0.0, d1=1.0, p0=0.0, p1=1.0)
+
+    def test_symlog_symmetry_and_monotonicity(self):
+        s = SymlogScale(limit=1e9, linthresh=10.0, p0=0.0, p1=100.0)
+        assert s(0.0) == pytest.approx(50.0)
+        assert s(-1e9) == pytest.approx(0.0)
+        assert s(1e9) == pytest.approx(100.0)
+        xs = np.array([-1e9, -1e3, -10.0, 0.0, 10.0, 1e3, 1e9])
+        assert np.all(np.diff(s(xs)) > 0)
+
+    def test_symlog_linear_core(self):
+        s = SymlogScale(limit=1e3, linthresh=10.0, p0=-1.0, p1=1.0)
+        # Inside the threshold the mapping is linear in x.
+        assert s(5.0) - s(0.0) == pytest.approx(s(0.0) - s(-5.0))
+
+    def test_symlog_ticks_labelled(self):
+        s = SymlogScale(limit=1e6, linthresh=10.0, p0=0.0, p1=1.0)
+        labels = dict(s.ticks())
+        assert 0.0 in labels
+        assert labels[1e3] == "1us"
+
+    def test_symlog_validation(self):
+        with pytest.raises(ValueError):
+            SymlogScale(limit=5.0, linthresh=10.0, p0=0.0, p1=1.0)
+
+
+class TestSvgDocument:
+    def test_minimal_document_valid(self):
+        doc = SvgDocument(100, 50)
+        parse(doc.render())
+
+    def test_elements_appear(self):
+        doc = SvgDocument(100, 100, background=None)
+        doc.rect(0, 0, 10, 10).line(0, 0, 5, 5).circle(3, 3, 1)
+        doc.text(1, 1, "<hello & goodbye>")
+        doc.polyline([(0, 0), (1, 2), (3, 4)])
+        out = doc.render()
+        parse(out)
+        for tag in ("<rect", "<line", "<circle", "<text", "<polyline"):
+            assert tag in out
+        assert "&lt;hello &amp; goodbye&gt;" in out
+
+    def test_groups_balanced(self):
+        doc = SvgDocument(10, 10)
+        doc.group_open(translate=(5, 5)).rect(0, 0, 1, 1).group_close()
+        out = doc.render()
+        assert out.count("<g") == out.count("</g>")
+        parse(out)
+
+    def test_save(self, tmp_path):
+        p = tmp_path / "x.svg"
+        SvgDocument(10, 10).save(p)
+        assert p.read_text().startswith("<?xml")
+
+    def test_rejects_bad_canvas(self):
+        with pytest.raises(ValueError):
+            SvgDocument(0, 10)
+
+
+class TestCharts:
+    def _hists(self, rng, n_runs=3):
+        return [
+            DeltaHistogram.from_deltas(rng.normal(0, 50, 400), label=l)
+            for l in "BCD"[:n_runs]
+        ]
+
+    def test_histogram_figure_valid_and_complete(self, rng):
+        doc = histogram_figure(self._hists(rng), title="Fig X")
+        out = doc.render()
+        parse(out)
+        assert "Fig X" in out
+        assert out.count("<polyline") >= 3  # one series per run
+        assert "run B" in out and "run D" in out
+
+    def test_histogram_requires_shared_bins(self, rng):
+        from repro.core import SymlogBins
+
+        h1 = DeltaHistogram.from_deltas(rng.normal(0, 5, 10), SymlogBins())
+        h2 = DeltaHistogram.from_deltas(
+            rng.normal(0, 5, 10), SymlogBins(linthresh=3.0)
+        )
+        with pytest.raises(ValueError, match="share bins"):
+            histogram_figure([h1, h2])
+
+    def test_histogram_requires_input(self):
+        with pytest.raises(ValueError):
+            histogram_figure([])
+
+    def test_kappa_bars(self):
+        rows = [
+            {"environment": "local", "kappa": 0.98, "paper_kappa": 0.985},
+            {"environment": "fabric", "kappa": 0.77, "paper_kappa": 0.74},
+        ]
+        out = kappa_bars(rows).render()
+        parse(out)
+        assert "local" in out and "0.98" in out
+
+    def test_series_lines_linear_and_log(self):
+        x = [1, 2, 4, 8]
+        series = {"a": np.array([1.0, 2.0, 4.0, 8.0]),
+                  "b": np.array([8.0, 4.0, 2.0, 1.0])}
+        for log_y in (False, True):
+            out = series_lines(x, series, log_y=log_y,
+                               title="t", xlabel="x", ylabel="y").render()
+            parse(out)
+            assert '"a"' not in out  # names rendered as text, not attrs
+            assert ">a</text>" in out
+
+    def test_series_lines_requires_series(self):
+        with pytest.raises(ValueError):
+            series_lines([1, 2], {})
+
+
+class TestFigureSeriesSvg:
+    def test_to_svg_from_experiment(self, tmp_path):
+        from repro.experiments import fig4
+
+        fig4a, _ = fig4(duration_scale=0.01, n_runs=2)
+        p = tmp_path / "fig4a.svg"
+        doc = fig4a.to_svg(p)
+        assert p.exists()
+        parse(p.read_text())
+        assert "Figure 4a" in doc.render()

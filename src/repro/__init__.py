@@ -74,6 +74,7 @@ def __getattr__(name):
         "testbeds",
         "analysis",
         "experiments",
+        "parallel",
         "viz",
     }
     if name in lazy:

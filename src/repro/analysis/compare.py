@@ -57,14 +57,23 @@ def analyze_directory(
     directory: str | Path,
     environment: str = "",
     bins: SymlogBins | None = None,
+    jobs: int | None = None,
 ) -> RunSeriesReport:
     """Full Section-3 analysis of a saved capture series.
 
     The first capture in run order is the baseline (run A), as in the
-    paper's protocol.
+    paper's protocol.  ``jobs`` fans the per-pair comparisons out across
+    processes (default ``REPRO_JOBS`` or serial; the report is exactly the
+    same either way — see :mod:`repro.parallel`).
     """
     trials = load_series(directory)
-    return compare_series(trials, environment=environment or str(directory), bins=bins)
+    environment = environment or str(directory)
+    from ..parallel import compare_series_parallel, default_jobs
+
+    jobs = default_jobs() if jobs is None else int(jobs)
+    if jobs > 1:
+        return compare_series_parallel(trials, environment=environment, bins=bins, jobs=jobs)
+    return compare_series(trials, environment=environment, bins=bins)
 
 
 def render_report(report: RunSeriesReport, *, histograms: bool = True) -> str:

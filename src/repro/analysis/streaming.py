@@ -14,8 +14,17 @@ What streams and what doesn't:
   and trial endpoints, both of which accumulate.
 * ``O``: **not** streamable — the LCS is a global property of the whole
   permutation (any chunking bound can be violated by a single far-moved
-  packet).  :class:`StreamingComparison` therefore reports O as ``None``
-  and the κ it offers is explicitly the O-less variant.
+  packet).  :class:`StreamingComparison` does not *compute* O; instead its
+  alignment check **guarantees** O = 0 (aligned captures are the identity
+  permutation), so it reports the exact float ``0.0``.
+
+This follows the :class:`~repro.core.kappa.MetricVector` contract shared
+by every comparison path (batch, streaming, parallel): components are
+always concrete finite floats in [0, 1] — never ``None`` — and a path that
+cannot compute a component must either guarantee its value by a checked
+precondition (as here) or raise.  Consumers can therefore always combine,
+average and render vectors from any path interchangeably.
+``tests/test_metric_contract.py`` pins this for all three paths.
 
 Precondition: the two captures must be *packet-aligned* — same packets in
 the same order (the quiet-environment regime where U = O = 0, which is
@@ -91,7 +100,13 @@ class StreamingComparison:
         self._n += int(a.size)
 
     def result(self) -> MetricVector:
-        """The metric vector; O is reported as exactly 0 (precondition)."""
+        """The metric vector under the shared all-floats contract.
+
+        U and O are the exact float ``0.0``: the chunk-by-chunk alignment
+        check made them true by construction, not unknown.  The κ of the
+        returned vector is therefore the plain Equation 5, numerically
+        equal to the "O-less" κ an aligned-capture regime implies.
+        """
         if self._n == 0:
             return MetricVector(0.0, 0.0, 0.0, 0.0)
         span = max(

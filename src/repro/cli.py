@@ -11,7 +11,10 @@ Mirrors the artifact's workflow from a shell:
 
 All commands honor ``--scale`` (capture duration relative to the paper's
 0.3 s; default from ``REPRO_SCALE`` or 0.25) and print plain text so
-output can be redirected into experiment logs.
+output can be redirected into experiment logs.  Commands that run the
+Section-3 analysis honor ``--jobs N`` (default from ``REPRO_JOBS`` or 1),
+fanning the comparison across N processes via :mod:`repro.parallel`;
+output is identical at any job count.
 """
 
 from __future__ import annotations
@@ -31,6 +34,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_jobs(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs", type=int, default=None, metavar="N",
+            help="analysis worker processes (default REPRO_JOBS or 1; "
+            "output is identical at any N)",
+        )
+
     sub.add_parser("scenarios", help="list registered evaluation environments")
 
     p = sub.add_parser("simulate", help="run a scenario's trial series")
@@ -43,34 +53,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=None, help="duration scale (default REPRO_SCALE)")
     p.add_argument("-o", "--output", default=None, help="directory to save captures into")
     p.add_argument("--histograms", action="store_true", help="include figure histograms")
+    add_jobs(p)
 
     p = sub.add_parser("analyze", help="analyze a directory of saved captures")
     p.add_argument("directory")
     p.add_argument("--histograms", action="store_true")
+    add_jobs(p)
 
     p = sub.add_parser("table1", help="regenerate Table 1 (edit-script distances)")
     p.add_argument("--scale", type=float, default=None)
+    add_jobs(p)
 
     p = sub.add_parser("table2", help="regenerate Table 2 (all environments)")
     p.add_argument("--scale", type=float, default=None)
     p.add_argument("--no-paper", action="store_true", help="omit the paper's columns")
+    add_jobs(p)
 
     p = sub.add_parser("validate", help="grade the reproduction against the paper's Table 2")
     p.add_argument("--scale", type=float, default=None)
     p.add_argument("--kappa-tol", type=float, default=0.08)
+    add_jobs(p)
 
     p = sub.add_parser("report", help="regenerate the full evaluation into a directory")
     p.add_argument("-o", "--output", default="report", help="output directory")
     p.add_argument("--scale", type=float, default=None)
     p.add_argument("--no-svg", action="store_true", help="skip SVG figure rendering")
+    add_jobs(p)
 
     p = sub.add_parser("figure", help="regenerate one figure's series")
     p.add_argument("figure_id", help="4a, 4b, 5, 6a..10b")
     p.add_argument("--scale", type=float, default=None)
     p.add_argument("--svg", default=None, metavar="PATH",
                    help="additionally write the figure as an SVG file")
+    add_jobs(p)
 
     return parser
+
+
+def _run_kwargs(args) -> dict:
+    """kwargs forwarded to ``run_scenario`` from --scale / --jobs flags."""
+    kwargs = {}
+    if getattr(args, "scale", None) is not None:
+        kwargs["duration_scale"] = args.scale
+    if getattr(args, "jobs", None) is not None:
+        kwargs["jobs"] = args.jobs
+    return kwargs
 
 
 def _cmd_scenarios(_args) -> int:
@@ -84,8 +111,7 @@ def _cmd_scenarios(_args) -> int:
 
 def _cmd_simulate(args) -> int:
     from .analysis import render_report, save_series
-    from .core import compare_series
-    from .experiments import scenario
+    from .experiments import analyze_trials, scenario
     from .testbeds import Testbed
 
     if (args.scenario is None) == (args.profile is None):
@@ -107,7 +133,7 @@ def _cmd_simulate(args) -> int:
     if args.output:
         paths = save_series(trials, args.output)
         print(f"saved {len(paths)} captures under {args.output}", file=sys.stderr)
-    report = compare_series(trials, environment=profile.name)
+    report = analyze_trials(trials, environment=profile.name, jobs=args.jobs)
     print(render_report(report, histograms=args.histograms))
     return 0
 
@@ -115,7 +141,7 @@ def _cmd_simulate(args) -> int:
 def _cmd_analyze(args) -> int:
     from .analysis import analyze_directory, render_report
 
-    report = analyze_directory(args.directory)
+    report = analyze_directory(args.directory, jobs=args.jobs)
     print(render_report(report, histograms=args.histograms))
     return 0
 
@@ -123,16 +149,14 @@ def _cmd_analyze(args) -> int:
 def _cmd_table1(args) -> int:
     from .experiments import render_table1_text
 
-    kwargs = {} if args.scale is None else {"duration_scale": args.scale}
-    print(render_table1_text(**kwargs))
+    print(render_table1_text(**_run_kwargs(args)))
     return 0
 
 
 def _cmd_table2(args) -> int:
     from .experiments import render_table2_text
 
-    kwargs = {} if args.scale is None else {"duration_scale": args.scale}
-    print(render_table2_text(with_paper=not args.no_paper, **kwargs))
+    print(render_table2_text(with_paper=not args.no_paper, **_run_kwargs(args)))
     return 0
 
 
@@ -148,8 +172,7 @@ def _cmd_figure(args) -> int:
             file=sys.stderr,
         )
         return 2
-    kwargs = {} if args.scale is None else {"duration_scale": args.scale}
-    series = gen(**kwargs)
+    series = gen(**_run_kwargs(args))
     print(series.render())
     if args.svg:
         series.to_svg(args.svg)
@@ -160,8 +183,7 @@ def _cmd_figure(args) -> int:
 def _cmd_validate(args) -> int:
     from .experiments import validate_against_paper
 
-    kwargs = {} if args.scale is None else {"duration_scale": args.scale}
-    result = validate_against_paper(kappa_abs_tol=args.kappa_tol, **kwargs)
+    result = validate_against_paper(kappa_abs_tol=args.kappa_tol, **_run_kwargs(args))
     print(result.render())
     return 0 if result.passed else 1
 
@@ -180,7 +202,7 @@ def _cmd_report(args) -> int:
 
     out = Path(args.output)
     out.mkdir(parents=True, exist_ok=True)
-    kwargs = {} if args.scale is None else {"duration_scale": args.scale}
+    kwargs = _run_kwargs(args)
 
     print("regenerating Table 2 (all nine environments)...", file=sys.stderr)
     (out / "table2.txt").write_text(render_table2_text(**kwargs))

@@ -12,16 +12,29 @@ Public surface:
   :func:`~repro.core.report.compare_series` — one-call analysis drivers.
 """
 
-from .histograms import DeltaHistogram, SymlogBins, pct_within
-from .iat import iat_deltas_ns, iat_variation, max_iat_construction
+from .histograms import DeltaHistogram, SymlogBins, pct_within, pct_within_from_counts
+from .iat import (
+    iat_deltas_ns,
+    iat_denominator_ns,
+    iat_from_deltas,
+    iat_variation,
+    max_iat_construction,
+)
 from .kappa import KappaScaling, MetricVector, kappa_from_vector
 from .kendall import count_inversions, kendall_tau_distance
-from .latency import latency_deltas_ns, latency_variation, max_latency_construction
+from .latency import (
+    latency_deltas_ns,
+    latency_from_deltas,
+    latency_span_ns,
+    latency_variation,
+    max_latency_construction,
+)
 from .matching import Matching, match_trials, occurrence_ranks
 from .ordering import (
     EditScript,
     MoveDistanceStats,
     edit_script,
+    edit_script_from_matching,
     longest_increasing_subsequence,
     move_distance_stats,
     naive_lcs_length,
@@ -50,13 +63,18 @@ __all__ = [
     "naive_lcs_length",
     "EditScript",
     "edit_script",
+    "edit_script_from_matching",
     "MoveDistanceStats",
     "move_distance_stats",
     "latency_variation",
     "latency_deltas_ns",
+    "latency_span_ns",
+    "latency_from_deltas",
     "max_latency_construction",
     "iat_variation",
     "iat_deltas_ns",
+    "iat_denominator_ns",
+    "iat_from_deltas",
     "max_iat_construction",
     "MetricVector",
     "KappaScaling",
@@ -66,6 +84,7 @@ __all__ = [
     "SymlogBins",
     "DeltaHistogram",
     "pct_within",
+    "pct_within_from_counts",
     "cumulative_latency_ns",
     "iat_deviation_ns",
     "mean_absolute_latency_delta_ns",

@@ -16,7 +16,19 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["SymlogBins", "DeltaHistogram", "pct_within"]
+__all__ = ["SymlogBins", "DeltaHistogram", "pct_within", "pct_within_from_counts"]
+
+
+def pct_within_from_counts(n_within: int, n_total: int) -> float:
+    """The ``pct_within`` statistic from precomputed counts.
+
+    Counting is elementwise, so per-shard counts summed across any
+    partition equal the whole-array count; routing both the batch and the
+    parallel path through this one division keeps them bit-identical.
+    """
+    if n_total == 0:
+        return 0.0
+    return float(n_within) / n_total * 100.0
 
 
 def pct_within(deltas_ns: np.ndarray, bound_ns: float = 10.0) -> float:
@@ -26,9 +38,8 @@ def pct_within(deltas_ns: np.ndarray, bound_ns: float = 10.0) -> float:
     run" statistic quoted throughout Sections 6 and 7.
     """
     deltas_ns = np.asarray(deltas_ns, dtype=np.float64)
-    if deltas_ns.size == 0:
-        return 0.0
-    return float(np.count_nonzero(np.abs(deltas_ns) <= bound_ns)) / deltas_ns.size * 100.0
+    n_within = int(np.count_nonzero(np.abs(deltas_ns) <= bound_ns))
+    return pct_within_from_counts(n_within, deltas_ns.size)
 
 
 @dataclass(frozen=True)
@@ -100,6 +111,34 @@ class DeltaHistogram:
             bins=bins,
             counts=counts.astype(np.int64),
             n_total=int(deltas_ns.size),
+            label=label,
+            meta=dict(meta or {}),
+        )
+
+    @classmethod
+    def from_counts(
+        cls,
+        counts: np.ndarray,
+        n_total: int,
+        bins: SymlogBins | None = None,
+        label: str = "",
+        meta: dict | None = None,
+    ) -> "DeltaHistogram":
+        """Histogram from precomputed per-bin counts (the merge entry point).
+
+        Binning is elementwise, so integer counts from any shard partition
+        of a delta array sum to exactly the counts :meth:`from_deltas`
+        computes on the whole array; the parallel engine's reducer builds
+        its histograms through this constructor.
+        """
+        bins = bins if bins is not None else SymlogBins()
+        counts = np.asarray(counts)
+        if counts.shape != (bins.edges().size - 1,):
+            raise ValueError("counts do not match the bin layout")
+        return cls(
+            bins=bins,
+            counts=counts.astype(np.int64),
+            n_total=int(n_total),
             label=label,
             meta=dict(meta or {}),
         )

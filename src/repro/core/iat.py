@@ -26,6 +26,8 @@ from .trial import Trial
 
 __all__ = [
     "iat_deltas_ns",
+    "iat_denominator_ns",
+    "iat_from_deltas",
     "iat_from_matching",
     "iat_variation",
     "max_iat_construction",
@@ -47,16 +49,35 @@ def iat_deltas_ns(a: Trial, b: Trial, matching: Matching | None = None) -> np.nd
     return g_b - g_a
 
 
+def iat_denominator_ns(a: Trial, b: Trial) -> float:
+    """The Equation 4 normalizer: the two trial durations summed.
+
+    Both trials must be non-empty.
+    """
+    return (b.end_ns - b.start_ns) + (a.end_ns - a.start_ns)
+
+
+def iat_from_deltas(deltas: np.ndarray, n_common: int, denom_ns: float) -> float:
+    """Equation 4 from precomputed signed IAT deltas and the normalizer.
+
+    The single reduction both the batch and the parallel path run; the
+    parallel engine assembles the full delta array from its shards and
+    calls this exact function, so the two paths are bit-identical.
+    """
+    if n_common == 0:
+        return 0.0
+    if denom_ns <= 0.0:
+        # Both trials are instantaneous; all gaps are zero on both sides.
+        return 0.0
+    return float(np.abs(deltas).sum() / denom_ns)
+
+
 def iat_from_matching(a: Trial, b: Trial, m: Matching) -> float:
     """Equation 4 from a precomputed matching."""
     if m.n_common == 0:
         return 0.0
-    denom = (b.end_ns - b.start_ns) + (a.end_ns - a.start_ns)
-    if denom <= 0.0:
-        # Both trials are instantaneous; all gaps are zero on both sides.
-        return 0.0
     deltas = iat_deltas_ns(a, b, matching=m)
-    return float(np.abs(deltas).sum() / denom)
+    return iat_from_deltas(deltas, m.n_common, iat_denominator_ns(a, b))
 
 
 def iat_variation(a: Trial, b: Trial) -> float:

@@ -76,7 +76,20 @@ PAPER_SCALING = KappaScaling()
 
 @dataclass(frozen=True)
 class MetricVector:
-    """The 4-dimensional inconsistency vector ``⟨U, O, L, I⟩`` of Section 3."""
+    """The 4-dimensional inconsistency vector ``⟨U, O, L, I⟩`` of Section 3.
+
+    **Contract (all comparison paths).**  Every component is a concrete,
+    finite float in [0, 1] — never ``None``, never NaN; construction
+    enforces this.  A path that cannot compute a component (e.g. the
+    streaming path, which cannot shard the global-LCS ordering metric)
+    must either *guarantee* the component's value through a checked
+    precondition and report that exact float, or refuse to produce a
+    vector — partially-populated vectors do not exist.  The batch
+    (:func:`repro.core.report.compare_trials`), streaming
+    (:class:`repro.analysis.streaming.StreamingComparison`) and parallel
+    (:class:`repro.parallel.ParallelComparator`) paths all honor this, so
+    their vectors mix freely in series aggregation and rendering.
+    """
 
     u: float
     o: float

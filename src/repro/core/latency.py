@@ -48,6 +48,8 @@ from .trial import Trial
 
 __all__ = [
     "latency_deltas_ns",
+    "latency_span_ns",
+    "latency_from_deltas",
     "latency_from_matching",
     "latency_variation",
     "max_latency_construction",
@@ -68,25 +70,44 @@ def latency_deltas_ns(a: Trial, b: Trial, matching: Matching | None = None) -> n
     return l_b - l_a
 
 
-def latency_from_matching(a: Trial, b: Trial, m: Matching) -> float:
-    """Equation 3 from a precomputed matching."""
-    if m.n_common == 0:
-        return 0.0
-    # Paper denominator extended with the per-trial spans — identical in
-    # the aligned-capture regime, a true bound in general (module docs).
-    span = max(
+def latency_span_ns(a: Trial, b: Trial) -> float:
+    """The Equation 3 normalizing span (extended with per-trial spans).
+
+    Paper denominator extended with the per-trial spans — identical in
+    the aligned-capture regime, a true bound in general (module docs).
+    Both trials must be non-empty.
+    """
+    return max(
         b.end_ns - a.start_ns,
         a.end_ns - b.start_ns,
         a.duration_ns,
         b.duration_ns,
     )
-    if span <= 0.0:
+
+
+def latency_from_deltas(deltas: np.ndarray, n_common: int, span_ns: float) -> float:
+    """Equation 3 from precomputed signed latency deltas and the span.
+
+    This is the single reduction both the batch and the parallel path run:
+    the parallel engine assembles the full delta array from its shards and
+    calls this exact function, so the two paths are bit-identical.
+    """
+    if n_common == 0:
+        return 0.0
+    if span_ns <= 0.0:
         # All common packets are simultaneous: either both trials are a
         # single instant (zero deviation) or the data is degenerate; in both
         # cases there is no latency inconsistency to report.
         return 0.0
+    return float(np.abs(deltas).sum() / (n_common * span_ns))
+
+
+def latency_from_matching(a: Trial, b: Trial, m: Matching) -> float:
+    """Equation 3 from a precomputed matching."""
+    if m.n_common == 0:
+        return 0.0
     deltas = latency_deltas_ns(a, b, matching=m)
-    return float(np.abs(deltas).sum() / (m.n_common * span))
+    return latency_from_deltas(deltas, m.n_common, latency_span_ns(a, b))
 
 
 def latency_variation(a: Trial, b: Trial) -> float:

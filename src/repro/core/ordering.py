@@ -46,6 +46,7 @@ __all__ = [
     "lis_membership",
     "EditScript",
     "edit_script",
+    "edit_script_from_matching",
     "move_distance_stats",
     "MoveDistanceStats",
     "ordering_from_matching",
@@ -168,6 +169,17 @@ class EditScript:
 def edit_script(a: Trial, b: Trial, matching: Matching | None = None) -> EditScript:
     """Derive the minimum edit script turning trial B into trial A."""
     m = matching if matching is not None else match_trials(a, b)
+    return edit_script_from_matching(m)
+
+
+def edit_script_from_matching(m: Matching) -> EditScript:
+    """The minimum edit script from a precomputed matching alone.
+
+    The script is a pure function of the matching (positions and trial
+    lengths); trials are not needed.  This is the entry point used by the
+    parallel engine, whose ordering worker receives only the matching index
+    arrays over shared memory.
+    """
     n = m.n_common
 
     # A-side ranks of common packets listed in B order; its LIS is the LCS.

@@ -4,6 +4,12 @@ Several figures and both tables draw on the same underlying trial series
 (e.g. Table 2 needs all nine environments; Figures 4a and 4b share the
 local-single series).  ``run_scenario`` memoizes by (scenario, scale,
 n_runs, seed) so a full benchmark session simulates each environment once.
+
+Analysis fan-out: ``run_scenario(..., jobs=N)`` (or ``REPRO_JOBS=N`` in
+the environment) routes the comparison through
+:func:`repro.parallel.compare_series_parallel`, which is exactly equal to
+the serial path — figure and table reproductions are byte-stable under any
+job count.
 """
 
 from __future__ import annotations
@@ -15,7 +21,23 @@ from ..core.trial import Trial
 from ..testbeds import EnvironmentProfile, Testbed
 from .scenarios import scenario
 
-__all__ = ["run_trials", "run_scenario", "run_scenario_trials"]
+__all__ = ["run_trials", "run_scenario", "run_scenario_trials", "analyze_trials"]
+
+
+def analyze_trials(
+    trials: list[Trial], environment: str = "", jobs: int | None = None
+) -> RunSeriesReport:
+    """Compare a trial series, fanning analysis across ``jobs`` processes.
+
+    ``jobs=None`` honors ``REPRO_JOBS`` (default 1 — the serial path);
+    any value produces the identical report.
+    """
+    from ..parallel import compare_series_parallel, default_jobs
+
+    jobs = default_jobs() if jobs is None else int(jobs)
+    if jobs > 1:
+        return compare_series_parallel(trials, environment=environment, jobs=jobs)
+    return compare_series(trials, environment=environment)
 
 
 def run_trials(
@@ -56,12 +78,17 @@ def run_scenario(
     duration_scale: float | None = None,
     n_runs: int = 5,
     seed: int | None = None,
+    jobs: int | None = None,
 ) -> RunSeriesReport:
-    """Run (or reuse) a scenario's series and return its analysis report."""
+    """Run (or reuse) a scenario's series and return its analysis report.
+
+    ``jobs`` fans the Section-3 analysis out across processes (default:
+    ``REPRO_JOBS`` or serial); the report is identical either way.
+    """
     sc = scenario(key)
     scale = duration_scale if duration_scale is not None else _default_scale()
     trials, env_name = _cached_series(sc.key, scale, n_runs, seed)
-    return compare_series(list(trials), environment=env_name)
+    return analyze_trials(list(trials), environment=env_name, jobs=jobs)
 
 
 def _default_scale() -> float:

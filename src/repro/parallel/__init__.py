@@ -1,0 +1,49 @@
+"""Parallel sharded comparison engine for the Section-3 metrics.
+
+The batch drivers in :mod:`repro.core.report` analyze one trial pair per
+process; the paper's artifact notes analysis time "scales with the length
+of the packet captures", and repeated-trial methodologies multiply that
+cost across many pairs.  This package fans the work out across cores while
+staying **bit-identical** to the serial path:
+
+* :class:`~repro.parallel.shard.ShardPlanner` — splits a matched pair's
+  common-packet rows into aligned, contiguous shards (L/I/U parallelize;
+  the global-LCS ordering metric O deliberately does not — it is scheduled
+  as one whole-pair task).
+* :mod:`~repro.parallel.shm` — ``multiprocessing.shared_memory`` transport
+  of the packet arrays; workers never pickle payloads.
+* :mod:`~repro.parallel.partials` — the merge/reduce algebra: exact
+  integer partials, deferred float reductions.
+* :class:`~repro.parallel.engine.ParallelComparator` and the
+  :func:`~repro.parallel.engine.compare_series_parallel` /
+  :func:`~repro.parallel.engine.compare_trials_parallel` drop-ins.
+
+See ``docs/parallel.md`` for the sharding model and the exactness
+argument, and ``tests/test_parallel_differential.py`` for the differential
+harness that proves parallel == serial.
+"""
+
+from .engine import (
+    ParallelComparator,
+    compare_series_parallel,
+    compare_trials_parallel,
+)
+from .partials import MergedTimings, ShardPartial, compute_shard_partial, merge_partials
+from .shard import DEFAULT_MIN_SHARD_PACKETS, ShardPlan, ShardPlanner, default_jobs
+from .shm import ArraySpec, ShmArena
+
+__all__ = [
+    "ParallelComparator",
+    "compare_trials_parallel",
+    "compare_series_parallel",
+    "ShardPlanner",
+    "ShardPlan",
+    "ShardPartial",
+    "MergedTimings",
+    "compute_shard_partial",
+    "merge_partials",
+    "ArraySpec",
+    "ShmArena",
+    "DEFAULT_MIN_SHARD_PACKETS",
+    "default_jobs",
+]

@@ -1,0 +1,405 @@
+"""The process-pool comparison engine: ``ParallelComparator``.
+
+Fan-out happens at two grains, chosen by the :class:`~.shard.ShardPlanner`:
+
+* **Whole pairs** — each worker runs the unmodified serial
+  :func:`repro.core.report.compare_trials` on one (baseline, run) pair
+  whose packet arrays it reads from shared memory.  Used whenever a series
+  has at least one pair per worker; bit-identical to serial by
+  construction (it *is* the serial code).
+* **Within-pair shards** — the parent computes the matching once, then
+  fans the common-packet rows out as contiguous shards; workers return
+  integer partials and write delta slices into shared output buffers; the
+  ordering metric (global LCS — not shardable, see
+  :mod:`repro.core.ordering`) runs as one extra task.  The merge assembles
+  the full delta arrays and runs the identical final reductions the batch
+  path runs (see :mod:`repro.parallel.partials` for the exactness model).
+
+Either way the engine's reports are exactly equal — every float bit — to
+:func:`repro.core.report.compare_trials` / ``compare_series``; the
+differential suite (``tests/test_parallel_differential.py``) enforces this
+over randomized drops, reorders and latency noise.
+
+Workers receive only :class:`~.shm.ArraySpec` handles plus scalars; packet
+arrays travel through ``multiprocessing.shared_memory`` (see
+:mod:`repro.parallel.shm`), never through pickle.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from ..core.histograms import DeltaHistogram, SymlogBins, pct_within_from_counts
+from ..core.iat import iat_denominator_ns, iat_from_deltas
+from ..core.kappa import MetricVector
+from ..core.latency import latency_from_deltas, latency_span_ns
+from ..core.matching import Matching, match_trials
+from ..core.ordering import (
+    MoveDistanceStats,
+    edit_script_from_matching,
+    ordering_from_matching,
+)
+from ..core.report import PairReport, RunSeriesReport, compare_trials
+from ..core.trial import Trial
+from ..core.uniqueness import uniqueness_from_matching
+from .partials import compute_shard_partial, merge_partials
+from .shard import DEFAULT_MIN_SHARD_PACKETS, ShardPlanner, default_jobs
+from .shm import ShmArena, attach_view, detach_all
+
+__all__ = [
+    "ParallelComparator",
+    "compare_trials_parallel",
+    "compare_series_parallel",
+]
+
+
+# ----------------------------------------------------------------------
+# Worker task bodies (module level: picklable by the process pool).
+# Each resolves its ArraySpecs, computes, and detaches before returning;
+# return values never reference shared-memory views.
+# ----------------------------------------------------------------------
+
+def _timing_shard_worker(task: dict):
+    """Compute one shard's timing partial (counts out, deltas to buffer)."""
+    attachments: dict = {}
+    try:
+        times_a = attach_view(task["times_a"], attachments)
+        times_b = attach_view(task["times_b"], attachments)
+        idx_a = attach_view(task["idx_a"], attachments)
+        idx_b = attach_view(task["idx_b"], attachments)
+        out_dlat = attach_view(task["out_dlat"], attachments)
+        out_diat = attach_view(task["out_diat"], attachments)
+        return compute_shard_partial(
+            times_a,
+            times_b,
+            idx_a,
+            idx_b,
+            task["lo"],
+            task["hi"],
+            task["bins"],
+            task["within_ns"],
+            out_dlat=out_dlat,
+            out_diat=out_diat,
+        )
+    finally:
+        detach_all(attachments)
+
+
+def _ordering_worker(task: dict):
+    """Compute O and the Table-1 move statistics for one whole pair."""
+    attachments: dict = {}
+    try:
+        idx_a = attach_view(task["idx_a"], attachments)
+        idx_b = attach_view(task["idx_b"], attachments)
+        m = Matching(
+            idx_a.astype(np.intp, copy=False),
+            idx_b.astype(np.intp, copy=False),
+            task["len_a"],
+            task["len_b"],
+        )
+        script = edit_script_from_matching(m)
+        o_val = ordering_from_matching(m, script)
+        stats = MoveDistanceStats.from_distances(script.moved_distances)
+        return o_val, stats
+    finally:
+        detach_all(attachments)
+
+
+def _whole_pair_worker(task: dict):
+    """Run the unmodified serial comparison on one (baseline, run) pair."""
+    attachments: dict = {}
+    try:
+        baseline = Trial(
+            attach_view(task["tags_a"], attachments),
+            attach_view(task["times_a"], attachments),
+            label=task["label_a"],
+            meta=task["meta_a"],
+        )
+        run = Trial(
+            attach_view(task["tags_b"], attachments),
+            attach_view(task["times_b"], attachments),
+            label=task["label_b"],
+            meta=task["meta_b"],
+        )
+        return compare_trials(
+            baseline, run, bins=task["bins"], within_ns=task["within_ns"]
+        )
+    finally:
+        detach_all(attachments)
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+class ParallelComparator:
+    """Sharded, process-pooled drop-in for the Section-3 comparison drivers.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``None`` reads ``REPRO_JOBS`` (default 1).
+        With ``jobs=1`` everything runs in-process — no pool, no shared
+        memory — through the same code paths.
+    shard_packets:
+        Force within-pair shards to this many common rows (tests and
+        benchmarks; forces the sharded path even at ``jobs=1``).
+    min_shard_packets:
+        Smallest auto-sized shard worth a task dispatch.
+    within_ns:
+        Bound for the headline ±IAT statistic (as in ``compare_trials``).
+
+    The comparator owns its process pool; reuse one instance across many
+    comparisons (pool startup costs real milliseconds), and close it with
+    :meth:`close` or a ``with`` block.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        *,
+        shard_packets: int | None = None,
+        min_shard_packets: int = DEFAULT_MIN_SHARD_PACKETS,
+        within_ns: float = 10.0,
+    ) -> None:
+        self.jobs = default_jobs() if jobs is None else int(jobs)
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.shard_packets = shard_packets
+        self.min_shard_packets = min_shard_packets
+        self.within_ns = within_ns
+        self._executor: ProcessPoolExecutor | None = None
+
+    # -- lifecycle -------------------------------------------------------
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ParallelComparator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _planner(self) -> ShardPlanner:
+        return ShardPlanner(
+            self.jobs,
+            shard_packets=self.shard_packets,
+            min_shard_packets=self.min_shard_packets,
+        )
+
+    # -- public API ------------------------------------------------------
+    def compare(self, baseline: Trial, run: Trial, bins: SymlogBins | None = None) -> PairReport:
+        """Sharded :func:`repro.core.report.compare_trials` — exactly equal output."""
+        bins = bins if bins is not None else SymlogBins()
+        planner = self._planner()
+        if self.jobs == 1 and planner.shard_packets is None:
+            return compare_trials(baseline, run, bins=bins, within_ns=self.within_ns)
+        return self._compare_pair_sharded(baseline, run, bins, planner, slots=None)
+
+    def compare_series(
+        self,
+        trials: list[Trial],
+        environment: str = "",
+        bins: SymlogBins | None = None,
+    ) -> RunSeriesReport:
+        """Sharded :func:`repro.core.report.compare_series` — exactly equal output.
+
+        Labeling mirrors the serial driver: the first trial is the
+        baseline (relabelled ``A`` if unlabelled), repeats get ``B``,
+        ``C``, ... in run order.
+        """
+        if len(trials) < 2:
+            raise ValueError("need a baseline plus at least one repeat run")
+        bins = bins if bins is not None else SymlogBins()
+        baseline = trials[0]
+        if not baseline.label:
+            baseline = baseline.relabel("A")
+        runs = []
+        for k, run in enumerate(trials[1:]):
+            if not run.label:
+                run = run.relabel(chr(ord("B") + k) if k < 25 else f"run{k + 1}")
+            runs.append(run)
+
+        planner = self._planner()
+        if self.jobs == 1 and planner.shard_packets is None:
+            pairs = [
+                compare_trials(baseline, r, bins=bins, within_ns=self.within_ns)
+                for r in runs
+            ]
+        elif self.jobs > 1 and planner.use_whole_pairs(len(runs)):
+            pairs = self._compare_pairs_whole(baseline, runs, bins)
+        else:
+            slots = planner.pair_slots(len(runs))
+            pairs = [
+                self._compare_pair_sharded(baseline, r, bins, planner, slots=slots)
+                for r in runs
+            ]
+        return RunSeriesReport(
+            environment=environment,
+            baseline_label=baseline.label,
+            pairs=tuple(pairs),
+        )
+
+    # -- execution strategies --------------------------------------------
+    def _compare_pairs_whole(
+        self, baseline: Trial, runs: list[Trial], bins: SymlogBins
+    ) -> list[PairReport]:
+        """Pair-level fan-out: one serial comparison per worker task."""
+        pool = self._pool()
+        with ShmArena(enabled=True) as arena:
+            tags_a = arena.share(baseline.tags)
+            times_a = arena.share(baseline.times_ns)
+            futures = []
+            for run in runs:
+                task = {
+                    "tags_a": tags_a,
+                    "times_a": times_a,
+                    "tags_b": arena.share(run.tags),
+                    "times_b": arena.share(run.times_ns),
+                    "label_a": baseline.label,
+                    "label_b": run.label,
+                    "meta_a": dict(baseline.meta),
+                    "meta_b": dict(run.meta),
+                    "bins": bins,
+                    "within_ns": self.within_ns,
+                }
+                futures.append(pool.submit(_whole_pair_worker, task))
+            return [f.result() for f in futures]
+
+    def _compare_pair_sharded(
+        self,
+        baseline: Trial,
+        run: Trial,
+        bins: SymlogBins,
+        planner: ShardPlanner,
+        slots: int | None,
+    ) -> PairReport:
+        """Within-pair fan-out: timing shards + one ordering task, merged."""
+        m = match_trials(baseline, run)
+        plan = planner.plan_pair(m.n_common, slots=slots)
+        use_pool = self.jobs > 1
+        with ShmArena(enabled=use_pool) as arena:
+            idx_a = arena.share(m.idx_a)
+            idx_b = arena.share(m.idx_b)
+            times_a = arena.share(baseline.times_ns)
+            times_b = arena.share(run.times_ns)
+            out_dlat, dlat_buf = arena.allocate(m.n_common)
+            out_diat, diat_buf = arena.allocate(m.n_common)
+
+            ordering_task = {
+                "idx_a": idx_a,
+                "idx_b": idx_b,
+                "len_a": m.len_a,
+                "len_b": m.len_b,
+            }
+            shard_tasks = [
+                {
+                    "times_a": times_a,
+                    "times_b": times_b,
+                    "idx_a": idx_a,
+                    "idx_b": idx_b,
+                    "lo": lo,
+                    "hi": hi,
+                    "bins": bins,
+                    "within_ns": self.within_ns,
+                    "out_dlat": out_dlat,
+                    "out_diat": out_diat,
+                }
+                for lo, hi in plan.bounds
+            ]
+            if use_pool:
+                pool = self._pool()
+                # The ordering task is the long pole (global LCS); launch
+                # it first so it overlaps all the timing shards.
+                ordering_future = pool.submit(_ordering_worker, ordering_task)
+                shard_futures = [
+                    pool.submit(_timing_shard_worker, t) for t in shard_tasks
+                ]
+                partials = [f.result() for f in shard_futures]
+                o_val, move_stats = ordering_future.result()
+            else:
+                o_val, move_stats = _ordering_worker(ordering_task)
+                partials = [_timing_shard_worker(t) for t in shard_tasks]
+
+            merged = merge_partials(
+                partials, m.n_common, bins, dlat_buffer=dlat_buf, diat_buffer=diat_buf
+            )
+            u_val = uniqueness_from_matching(m)
+            if m.n_common == 0:
+                # Mirror the batch path's short-circuits: the spans are
+                # never evaluated (they would need non-empty trials).
+                l_val, i_val = 0.0, 0.0
+            else:
+                l_val = latency_from_deltas(
+                    merged.dlat, m.n_common, latency_span_ns(baseline, run)
+                )
+                i_val = iat_from_deltas(
+                    merged.diat, m.n_common, iat_denominator_ns(baseline, run)
+                )
+            report = PairReport(
+                baseline_label=baseline.label,
+                run_label=run.label,
+                metrics=MetricVector(u_val, o_val, l_val, i_val),
+                n_baseline=len(baseline),
+                n_run=len(run),
+                n_common=m.n_common,
+                pct_iat_within_10ns=pct_within_from_counts(
+                    merged.iat_within, m.n_common
+                ),
+                move_stats=move_stats,
+                iat_hist=DeltaHistogram.from_counts(
+                    merged.iat_counts, m.n_common, bins, label=run.label
+                ),
+                latency_hist=DeltaHistogram.from_counts(
+                    merged.lat_counts, m.n_common, bins, label=run.label
+                ),
+                meta={"baseline": dict(baseline.meta), "run": dict(run.meta)},
+            )
+        return report
+
+
+def compare_trials_parallel(
+    baseline: Trial,
+    run: Trial,
+    bins: SymlogBins | None = None,
+    within_ns: float = 10.0,
+    *,
+    jobs: int | None = None,
+    shard_packets: int | None = None,
+) -> PairReport:
+    """One-shot parallel :func:`repro.core.report.compare_trials`.
+
+    Spins a comparator (and pool) up and down around a single pair; prefer
+    a long-lived :class:`ParallelComparator` when comparing many pairs.
+    """
+    with ParallelComparator(
+        jobs=jobs, shard_packets=shard_packets, within_ns=within_ns
+    ) as pc:
+        return pc.compare(baseline, run, bins=bins)
+
+
+def compare_series_parallel(
+    trials: list[Trial],
+    environment: str = "",
+    bins: SymlogBins | None = None,
+    *,
+    jobs: int | None = None,
+    shard_packets: int | None = None,
+) -> RunSeriesReport:
+    """Drop-in for :func:`repro.core.report.compare_series` with fan-out.
+
+    Exactly equal output (every float bit) for any ``jobs`` and shard
+    size; ``jobs=None`` honors ``REPRO_JOBS`` and defaults to serial.
+    """
+    with ParallelComparator(jobs=jobs, shard_packets=shard_packets) as pc:
+        return pc.compare_series(trials, environment=environment, bins=bins)

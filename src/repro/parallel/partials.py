@@ -1,0 +1,216 @@
+"""Shard partials and the exact merge/reduce algebra.
+
+Exactness model — why parallel equals serial *bit for bit*:
+
+1. Every per-row quantity (a latency delta, an IAT delta, a histogram bin
+   hit, a ±10 ns hit) is computed **elementwise** by the same IEEE-754
+   operations the batch path runs; which shard a row lands in cannot change
+   its value.
+2. All *integer* reductions (histogram counts, within-bound counts, row
+   counts) are exact and associative, so per-shard counts summed in any
+   order equal the whole-array counts.
+3. All *floating-point* reductions (the L and I numerators) are **deferred
+   to the merge**: shards return their delta slices (or write them into a
+   shared output buffer), the merge reassembles the full arrays in row
+   order, and the final ``Σ|Δ|`` runs once over the assembled array —
+   executing the identical reduction (NumPy pairwise summation over the
+   identical array) the serial path runs.  Merging per-shard *float sums*
+   instead would tie the result to the partition because IEEE addition is
+   not associative; that design is deliberately rejected here.
+
+Consequently :func:`merge_partials` is invariant under the shard partition
+and, because partials are keyed by their row ranges, invariant under the
+order they are merged in; :meth:`ShardPartial.combine` of adjacent shards
+is associative.  The property suite (``tests/test_properties_parallel.py``)
+pins all three claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.histograms import SymlogBins
+
+__all__ = ["ShardPartial", "MergedTimings", "compute_shard_partial", "merge_partials"]
+
+
+@dataclass(frozen=True)
+class ShardPartial:
+    """One shard's contribution to a pair's timing metrics.
+
+    Integer fields are exact partial reductions; the delta slices carry the
+    not-yet-reduced float data (``None`` when the shard wrote them into a
+    shared output buffer instead — the pool-transport form).
+    """
+
+    lo: int
+    hi: int
+    iat_within: int
+    iat_counts: np.ndarray
+    lat_counts: np.ndarray
+    dlat: np.ndarray | None = None
+    diat: np.ndarray | None = None
+
+    @property
+    def n_rows(self) -> int:
+        """Common-packet rows this shard covers."""
+        return self.hi - self.lo
+
+    def combine(self, other: "ShardPartial") -> "ShardPartial":
+        """Merge two *adjacent* shard partials into one.
+
+        Counts add (exact); delta slices concatenate in row order, so the
+        result is indistinguishable from a partial computed over the
+        combined range directly — which is what makes this operation
+        associative and the reducer partition-invariant.
+        """
+        first, second = (self, other) if self.lo <= other.lo else (other, self)
+        if first.hi != second.lo:
+            raise ValueError(
+                f"can only combine adjacent shards, got [{first.lo},{first.hi}) "
+                f"+ [{second.lo},{second.hi})"
+            )
+        if (first.dlat is None) != (second.dlat is None):
+            raise ValueError("cannot combine buffered and unbuffered partials")
+        cat = (
+            None
+            if first.dlat is None
+            else (
+                np.concatenate([first.dlat, second.dlat]),
+                np.concatenate([first.diat, second.diat]),
+            )
+        )
+        return ShardPartial(
+            lo=first.lo,
+            hi=second.hi,
+            iat_within=first.iat_within + second.iat_within,
+            iat_counts=first.iat_counts + second.iat_counts,
+            lat_counts=first.lat_counts + second.lat_counts,
+            dlat=None if cat is None else cat[0],
+            diat=None if cat is None else cat[1],
+        )
+
+
+@dataclass(frozen=True)
+class MergedTimings:
+    """The fully merged timing data of one pair, ready for the reductions."""
+
+    n_common: int
+    iat_within: int
+    iat_counts: np.ndarray
+    lat_counts: np.ndarray
+    dlat: np.ndarray
+    diat: np.ndarray
+
+
+def compute_shard_partial(
+    times_a: np.ndarray,
+    times_b: np.ndarray,
+    idx_a: np.ndarray,
+    idx_b: np.ndarray,
+    lo: int,
+    hi: int,
+    bins: SymlogBins,
+    within_ns: float,
+    out_dlat: np.ndarray | None = None,
+    out_diat: np.ndarray | None = None,
+) -> ShardPartial:
+    """The timing contribution of common rows ``[lo, hi)``.
+
+    ``times_*`` are the *full* trial timestamp arrays (gaps reach back to
+    each packet's predecessor in the full trial, exactly as
+    :meth:`repro.core.trial.Trial.iats_ns` defines them); ``idx_*`` are the
+    full matching index arrays.  When output buffers are given the delta
+    slices are written there (shared-memory transport) and not carried on
+    the partial.
+    """
+    ja = idx_a[lo:hi]
+    jb = idx_b[lo:hi]
+
+    # Latency deltas: relative arrival in B minus relative arrival in A
+    # (identical expression to core.latency.latency_deltas_ns).
+    dlat = (times_b[jb] - times_b[0]) - (times_a[ja] - times_a[0])
+
+    # IAT deltas: per-packet gap in B minus gap in A, where the gap of the
+    # first packet of a trial is 0 (core.trial.Trial.iats_ns semantics).
+    # ja - 1 may wrap to -1 for row 0; the masked store below overwrites
+    # those lanes with the base case before anyone reads them.
+    g_a = times_a[ja] - times_a[ja - 1]
+    g_a[ja == 0] = 0.0
+    g_b = times_b[jb] - times_b[jb - 1]
+    g_b[jb == 0] = 0.0
+    diat = g_b - g_a
+
+    edges = bins.edges()
+    iat_counts, _ = np.histogram(diat, bins=edges)
+    lat_counts, _ = np.histogram(dlat, bins=edges)
+    iat_within = int(np.count_nonzero(np.abs(diat) <= within_ns))
+
+    buffered = out_dlat is not None
+    if buffered:
+        out_dlat[lo:hi] = dlat
+        out_diat[lo:hi] = diat
+    return ShardPartial(
+        lo=int(lo),
+        hi=int(hi),
+        iat_within=iat_within,
+        iat_counts=iat_counts.astype(np.int64),
+        lat_counts=lat_counts.astype(np.int64),
+        dlat=None if buffered else dlat,
+        diat=None if buffered else diat,
+    )
+
+
+def merge_partials(
+    partials: list[ShardPartial],
+    n_common: int,
+    bins: SymlogBins,
+    dlat_buffer: np.ndarray | None = None,
+    diat_buffer: np.ndarray | None = None,
+) -> MergedTimings:
+    """Recombine shard partials into the whole pair's timing data.
+
+    Accepts the partials in any order (they are keyed by row range) and
+    any partition granularity; validates that together they tile
+    ``[0, n_common)`` exactly.  Buffered partials read their assembled
+    delta arrays from the shared output buffers the shards wrote.
+    """
+    ordered = sorted(partials, key=lambda p: p.lo)
+    cursor = 0
+    for p in ordered:
+        if p.lo != cursor:
+            raise ValueError(
+                f"partials do not tile [0, {n_common}): gap/overlap at row {cursor}"
+            )
+        cursor = p.hi
+    if cursor != n_common:
+        raise ValueError(f"partials cover [0, {cursor}) but n_common is {n_common}")
+
+    n_bins = bins.edges().size - 1
+    iat_counts = np.zeros(n_bins, dtype=np.int64)
+    lat_counts = np.zeros(n_bins, dtype=np.int64)
+    iat_within = 0
+    for p in ordered:
+        iat_counts += p.iat_counts
+        lat_counts += p.lat_counts
+        iat_within += p.iat_within
+
+    if dlat_buffer is not None:
+        dlat, diat = dlat_buffer, diat_buffer
+    elif ordered and ordered[0].dlat is not None:
+        dlat = np.concatenate([p.dlat for p in ordered])
+        diat = np.concatenate([p.diat for p in ordered])
+    else:
+        dlat = np.empty(0, dtype=np.float64)
+        diat = np.empty(0, dtype=np.float64)
+
+    return MergedTimings(
+        n_common=n_common,
+        iat_within=iat_within,
+        iat_counts=iat_counts,
+        lat_counts=lat_counts,
+        dlat=np.asarray(dlat, dtype=np.float64),
+        diat=np.asarray(diat, dtype=np.float64),
+    )

@@ -1,0 +1,154 @@
+"""Shard planning for the parallel comparison engine.
+
+A *shard* is a contiguous range ``[lo, hi)`` of the common-packet rows of a
+matched trial pair — the rows of :class:`repro.core.matching.Matching`,
+which lists the same packets of both trials aligned in A's arrival order.
+This is exactly the aligned-chunk precondition
+:class:`repro.analysis.streaming.StreamingComparison` imposes on its
+inputs, generalized: instead of requiring the whole captures to be aligned
+(U = O = 0), the matching *makes* the common rows aligned for any pair, so
+every per-row quantity (latency deltas, IAT deltas, histogram bin hits,
+±10 ns counts) splits exactly across any contiguous partition.
+
+What is and is not shardable:
+
+* ``U`` — shardable: it is a function of the row count and the trial
+  lengths; each shard contributes ``hi − lo`` rows.
+* ``L``, ``I`` — shardable: per-row deltas, reduced once after assembly.
+* ``O`` — **not** shardable: the LCS underlying Equation 2 is a global
+  property of the permutation (see :mod:`repro.core.ordering`); a single
+  far-moved packet invalidates any chunk-local bound.  The planner
+  therefore always schedules ordering as one whole-pair task.
+
+The planner also decides the fan-out *shape* for a run series: when there
+are at least as many trial pairs as workers, whole-pair tasks (each worker
+runs the full serial comparison on its pair) dominate — no merge step, no
+parent-side matching.  Only when pairs are scarcer than workers does
+within-pair sharding buy wall-time.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ShardPlan", "ShardPlanner", "DEFAULT_MIN_SHARD_PACKETS", "default_jobs"]
+
+#: Below this many common rows a shard is not worth a task dispatch; the
+#: default matches the chunk size of :func:`repro.analysis.streaming.stream_compare`.
+DEFAULT_MIN_SHARD_PACKETS = 65536
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The contiguous partition of one pair's common rows.
+
+    ``bounds`` is a tuple of ``(lo, hi)`` ranges that exactly tile
+    ``[0, n_common)`` in order; it is empty when there are no common
+    packets (nothing to shard — the metrics' degenerate branches apply).
+    """
+
+    n_common: int
+    bounds: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        cursor = 0
+        for lo, hi in self.bounds:
+            if lo != cursor or hi <= lo:
+                raise ValueError(
+                    f"bounds must tile [0, {self.n_common}) contiguously; "
+                    f"got {self.bounds}"
+                )
+            cursor = hi
+        if cursor != self.n_common:
+            raise ValueError(
+                f"bounds cover [0, {cursor}) but n_common is {self.n_common}"
+            )
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards in the plan."""
+        return len(self.bounds)
+
+
+class ShardPlanner:
+    """Splits comparison work into pool tasks.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes available (≥ 1).
+    shard_packets:
+        Force every shard to this many rows (the last shard takes the
+        remainder).  Mainly for tests and benchmarks; when ``None`` the
+        planner sizes shards to fill ``jobs`` slots without dropping below
+        ``min_shard_packets`` rows each.
+    min_shard_packets:
+        Smallest shard worth a task dispatch when auto-sizing.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        *,
+        shard_packets: int | None = None,
+        min_shard_packets: int = DEFAULT_MIN_SHARD_PACKETS,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if shard_packets is not None and shard_packets < 1:
+            raise ValueError("shard_packets must be >= 1")
+        if min_shard_packets < 1:
+            raise ValueError("min_shard_packets must be >= 1")
+        self.jobs = jobs
+        self.shard_packets = shard_packets
+        self.min_shard_packets = min_shard_packets
+
+    def plan_pair(self, n_common: int, slots: int | None = None) -> ShardPlan:
+        """Partition one pair's ``n_common`` rows into shards.
+
+        ``slots`` caps the shard count (defaults to ``jobs``); a forced
+        ``shard_packets`` overrides the cap — tests use that to drive
+        shard sizes from 1 to n+1.
+        """
+        if n_common == 0:
+            return ShardPlan(0, ())
+        if self.shard_packets is not None:
+            step = self.shard_packets
+        else:
+            slots = self.jobs if slots is None else max(1, slots)
+            n_shards = min(slots, max(1, n_common // self.min_shard_packets))
+            step = -(-n_common // n_shards)  # ceil division
+        bounds = tuple(
+            (lo, min(lo + step, n_common)) for lo in range(0, n_common, step)
+        )
+        return ShardPlan(n_common, bounds)
+
+    def use_whole_pairs(self, n_pairs: int) -> bool:
+        """Whether a series should fan out whole pairs rather than shards.
+
+        With at least one pair per worker, pair-level tasks keep every
+        worker busy with zero merge overhead; otherwise within-pair shards
+        are needed to occupy the idle workers.  A forced ``shard_packets``
+        always shards (the caller asked for that shape explicitly).
+        """
+        if self.shard_packets is not None:
+            return False
+        return n_pairs >= self.jobs
+
+    def pair_slots(self, n_pairs: int) -> int:
+        """Shard slots to give each pair when sharding a series."""
+        return max(1, self.jobs // max(1, n_pairs))
+
+
+def default_jobs() -> int:
+    """The worker count used when none is given: ``REPRO_JOBS`` or 1.
+
+    Serial remains the default — parallelism is opt-in via ``--jobs`` or
+    the environment — so existing workflows keep their exact performance
+    and process profile.
+    """
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1

@@ -14,6 +14,7 @@ SUBPACKAGES = [
     "repro.testbeds",
     "repro.analysis",
     "repro.experiments",
+    "repro.parallel",
     "repro.viz",
 ]
 
@@ -35,7 +36,7 @@ class TestExports:
         import repro
 
         for sub in ("net", "timing", "replay", "generators", "testbeds",
-                    "analysis", "experiments", "viz"):
+                    "analysis", "experiments", "parallel", "viz"):
             assert getattr(repro, sub) is importlib.import_module(f"repro.{sub}")
 
     def test_unknown_attribute_raises(self):

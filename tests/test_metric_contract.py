@@ -1,0 +1,82 @@
+"""Regression: one MetricVector contract across batch/streaming/parallel.
+
+The streaming module's docs once claimed it reported O as ``None`` while
+its code returned ``0.0`` — and the batch path always returned floats.
+The resolved contract (documented on
+:class:`repro.core.kappa.MetricVector`) is: every component is a concrete
+finite float in [0, 1] on *every* comparison path; a path that cannot
+compute a component guarantees its value by precondition instead.  These
+tests pin that so the paths can never drift apart again.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import stream_compare
+from repro.analysis.streaming import StreamingComparison
+from repro.core import MetricVector, compare_trials
+from repro.parallel import compare_trials_parallel
+
+from .conftest import comb_trial, make_trial
+
+
+def assert_contract(vec: MetricVector):
+    for name in ("u", "o", "l", "i"):
+        v = getattr(vec, name)
+        assert isinstance(v, float), f"{name.upper()} is {type(v).__name__}, not float"
+        assert np.isfinite(v)
+        assert 0.0 <= v <= 1.0
+
+
+class TestAllPathsReturnFloats:
+    def test_batch_path(self):
+        a, b = comb_trial(40), comb_trial(40, start=7.0)
+        assert_contract(compare_trials(a, b).metrics)
+
+    def test_streaming_path_o_is_exact_zero_float(self):
+        """Streaming O is the float 0.0 — guaranteed, not None/unknown."""
+        a, b = comb_trial(40), comb_trial(40, start=7.0)
+        vec = stream_compare(a, b, chunk=16)
+        assert_contract(vec)
+        assert vec.o == 0.0 and isinstance(vec.o, float)
+        assert vec.u == 0.0  # same guarantee, same precondition
+
+    def test_streaming_empty_stream(self):
+        vec = StreamingComparison().result()
+        assert_contract(vec)
+        assert vec == MetricVector(0.0, 0.0, 0.0, 0.0)
+
+    def test_parallel_path(self):
+        a, b = comb_trial(40), comb_trial(40, start=7.0)
+        vec = compare_trials_parallel(a, b, jobs=1, shard_packets=7).metrics
+        assert_contract(vec)
+
+    def test_streaming_agrees_with_batch_on_aligned(self):
+        """On its precondition's domain the streaming vector IS the batch one."""
+        rng = np.random.default_rng(808)
+        times = np.cumsum(rng.exponential(90.0, size=300))
+        a = make_trial(times)
+        # jitter small, then re-sort: both captures keep tag order 0..n-1,
+        # which is exactly the aligned regime streaming requires
+        b = make_trial(np.sort(times + rng.normal(0.0, 4.0, size=300)))
+        assert stream_compare(a, b, chunk=64) == compare_trials(a, b).metrics
+
+
+class TestVectorRejectsNonContract:
+    def test_rejects_none(self):
+        with pytest.raises(TypeError):
+            MetricVector(None, 0.0, 0.0, 0.0)
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError):
+            MetricVector(float("nan"), 0.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            MetricVector(0.0, float("inf"), 0.0, 0.0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            MetricVector(1.5, 0.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            MetricVector(0.0, -0.5, 0.0, 0.0)

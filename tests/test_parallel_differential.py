@@ -1,0 +1,215 @@
+"""Differential harness: the parallel engine must equal serial *exactly*.
+
+Every assertion here is bit-for-bit — ``==`` on floats and
+``np.array_equal`` on arrays, never ``approx`` — because the sharded
+engine's whole contract (see ``docs/parallel.md``) is that fan-out never
+changes a single bit of the Section-3 analysis.  Randomized trial pairs
+exercise drops, reorders and latency noise under every job count and
+pathological shard sizes; degenerate shapes (empty, single-packet,
+fully-dropped) pin the short-circuit paths.
+
+``REPRO_DIFF_JOBS`` (comma-separated, e.g. ``2,4``) restricts the job
+counts exercised — CI uses it to split the matrix across runners.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import SymlogBins, compare_series, compare_trials
+from repro.parallel import (
+    ParallelComparator,
+    compare_series_parallel,
+    compare_trials_parallel,
+    default_jobs,
+)
+
+from .conftest import comb_trial, make_trial
+
+
+def _job_counts() -> list[int]:
+    raw = os.environ.get("REPRO_DIFF_JOBS", "1,2,4,8")
+    return [int(tok) for tok in raw.split(",") if tok.strip()]
+
+
+JOB_COUNTS = _job_counts()
+
+#: Randomized pairs per job count; with the default four job counts the
+#: suite proves exactness on 4 * 60 = 240 distinct randomized pairs.
+N_RANDOM_PAIRS = 60
+
+
+# -- exact-equality helpers ------------------------------------------------
+# PairReport and DeltaHistogram hold ndarrays, so dataclass ``==`` is not
+# usable; compare field by field.  Everything stays exact: array_equal is
+# elementwise ``==`` and the scalar fields are plain floats/ints/strings.
+
+def assert_hist_equal(got, want):
+    assert got.bins == want.bins
+    assert got.counts.dtype == want.counts.dtype
+    assert np.array_equal(got.counts, want.counts)
+    assert got.n_total == want.n_total
+    assert got.label == want.label
+
+
+def assert_pair_equal(got, want):
+    assert got.baseline_label == want.baseline_label
+    assert got.run_label == want.run_label
+    assert got.metrics == want.metrics  # frozen dataclass of floats: exact
+    assert got.n_baseline == want.n_baseline
+    assert got.n_run == want.n_run
+    assert got.n_common == want.n_common
+    assert got.pct_iat_within_10ns == want.pct_iat_within_10ns
+    assert got.move_stats == want.move_stats
+    assert_hist_equal(got.iat_hist, want.iat_hist)
+    assert_hist_equal(got.latency_hist, want.latency_hist)
+    assert got.meta == want.meta
+
+
+def assert_series_equal(got, want):
+    assert got.environment == want.environment
+    assert got.baseline_label == want.baseline_label
+    assert len(got.pairs) == len(want.pairs)
+    for g, w in zip(got.pairs, want.pairs):
+        assert_pair_equal(g, w)
+
+
+# -- randomized trial-pair generator ---------------------------------------
+
+def random_pair(rng: np.random.Generator, n_base: int):
+    """A (baseline, run) pair with drops, reorders and latency noise.
+
+    Tags are drawn from a small alphabet so duplicates exercise the
+    occurrence-rank matching; the run drops a random subset, gains a few
+    packets of its own, and jitters every timestamp hard enough that
+    re-sorting by time produces genuine reorders.
+    """
+    tags = rng.integers(0, max(2, n_base // 2), size=n_base).astype(np.int64)
+    times = np.cumsum(rng.exponential(100.0, size=n_base))
+    baseline = make_trial(times, tags)
+
+    keep = rng.random(n_base) > 0.08  # ~8% drops
+    run_tags = tags[keep]
+    run_times = times[keep] + rng.normal(0.0, 180.0, size=int(keep.sum()))
+    n_extra = int(rng.integers(0, 4))  # packets unique to the run
+    if n_extra:
+        run_tags = np.concatenate(
+            [run_tags, rng.integers(10_000_000, 10_000_100, size=n_extra)]
+        )
+        run_times = np.concatenate(
+            [run_times, rng.uniform(0.0, times[-1], size=n_extra)]
+        )
+    order = np.argsort(run_times, kind="stable")
+    run = make_trial(run_times[order], run_tags[order])
+    return baseline, run
+
+
+# -- the differential suite ------------------------------------------------
+
+class TestRandomizedDifferential:
+    @pytest.mark.parametrize("jobs", JOB_COUNTS)
+    def test_randomized_pairs_exact(self, jobs):
+        """N random droppy/reordered/noisy pairs: parallel == serial, bit-for-bit."""
+        rng = np.random.default_rng(20250806 + jobs)
+        # Tiny forced shards guarantee real fan-out even on small trials;
+        # one comparator reuses its pool across all pairs.
+        with ParallelComparator(jobs=jobs, shard_packets=61) as pc:
+            for _ in range(N_RANDOM_PAIRS):
+                n = int(rng.integers(40, 400))
+                a, b = random_pair(rng, n)
+                assert_pair_equal(pc.compare(a, b), compare_trials(a, b))
+
+    @pytest.mark.parametrize("jobs", [j for j in JOB_COUNTS if j > 1] or [2])
+    def test_randomized_series_exact(self, jobs):
+        """Whole-pair fan-out (the many-runs strategy) equals serial."""
+        rng = np.random.default_rng(77 + jobs)
+        trials = [random_pair(rng, 200)[0] for _ in range(6)]
+        got = compare_series_parallel(trials, environment="diff", jobs=jobs)
+        want = compare_series(trials, environment="diff")
+        assert_series_equal(got, want)
+
+    def test_sharded_series_exact(self):
+        """Within-pair fan-out for series (jobs > pairs) equals serial."""
+        rng = np.random.default_rng(991)
+        a, b = random_pair(rng, 300)
+        got = compare_series_parallel(
+            [a, b], environment="diff", jobs=min(4, max(JOB_COUNTS)), shard_packets=37
+        )
+        want = compare_series([a, b], environment="diff")
+        assert_series_equal(got, want)
+
+
+class TestShardSizeSweep:
+    def test_every_shard_size_exact(self):
+        """Shard sizes 1..n+1 on one pair all reproduce serial exactly."""
+        rng = np.random.default_rng(5150)
+        a, b = random_pair(rng, 9)
+        want = compare_trials(a, b)
+        n_common = want.n_common
+        for shard in range(1, n_common + 2):
+            got = compare_trials_parallel(a, b, jobs=1, shard_packets=shard)
+            assert_pair_equal(got, want)
+
+    def test_custom_bins_and_within_exact(self):
+        rng = np.random.default_rng(62)
+        a, b = random_pair(rng, 120)
+        bins = SymlogBins(linthresh=5.0, max_decade=6, bins_per_decade=3)
+        want = compare_trials(a, b, bins=bins, within_ns=25.0)
+        got = compare_trials_parallel(
+            a, b, bins=bins, within_ns=25.0, jobs=2, shard_packets=17
+        )
+        assert_pair_equal(got, want)
+
+
+class TestDegenerateShapes:
+    CASES = {
+        "both-empty": lambda: (make_trial([]), make_trial([])),
+        "empty-baseline": lambda: (make_trial([]), comb_trial(5)),
+        "empty-run": lambda: (comb_trial(5), make_trial([])),
+        "single-packet": lambda: (make_trial([10.0]), make_trial([12.5])),
+        "all-dropped": lambda: (
+            make_trial([0.0, 10.0, 20.0], tags=[1, 2, 3]),
+            make_trial([1.0, 11.0, 21.0], tags=[7, 8, 9]),
+        ),
+        "identical": lambda: (comb_trial(64), comb_trial(64)),
+    }
+
+    @pytest.mark.parametrize("case", sorted(CASES))
+    @pytest.mark.parametrize("jobs", [1, min(2, max(JOB_COUNTS))])
+    def test_degenerate_exact(self, case, jobs):
+        a, b = self.CASES[case]()
+        want = compare_trials(a, b)
+        got = compare_trials_parallel(a, b, jobs=jobs, shard_packets=3)
+        assert_pair_equal(got, want)
+
+
+class TestSerialFastPath:
+    def test_jobs_one_uses_serial_driver(self):
+        """jobs=1 without a forced shard size is the serial code, verbatim."""
+        a, b = comb_trial(50), comb_trial(50, start=3.0)
+        with ParallelComparator(jobs=1) as pc:
+            assert_pair_equal(pc.compare(a, b), compare_trials(a, b))
+
+    def test_default_jobs_reads_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+        monkeypatch.setenv("REPRO_JOBS", "6")
+        assert default_jobs() == 6
+
+    def test_series_labeling_matches_serial(self):
+        """Pre-labelled and unlabelled trials mix exactly as in serial."""
+        rng = np.random.default_rng(13)
+        trials = [random_pair(rng, 80)[0] for _ in range(4)]
+        trials[2] = trials[2].relabel("custom")
+        got = compare_series_parallel(
+            trials, environment="lbl", jobs=2, shard_packets=29
+        )
+        want = compare_series(trials, environment="lbl")
+        assert_series_equal(got, want)
+
+    def test_series_requires_two_trials(self):
+        with pytest.raises(ValueError):
+            compare_series_parallel([comb_trial(4)], jobs=2)

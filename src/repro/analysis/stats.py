@@ -13,9 +13,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from ..core.report import compare_series
-from ..testbeds.base import Testbed
-from ..testbeds.profiles import EnvironmentProfile
+
+if TYPE_CHECKING:  # import cycle: testbeds.base -> replay -> analysis
+    from ..testbeds.profiles import EnvironmentProfile
 
 __all__ = ["bootstrap_ci", "SeedSweepResult", "seed_sweep"]
 
@@ -76,7 +79,7 @@ class SeedSweepResult:
 
 
 def seed_sweep(
-    profile: EnvironmentProfile,
+    profile: "EnvironmentProfile",
     seeds,
     *,
     n_runs: int = 3,
@@ -87,6 +90,8 @@ def seed_sweep(
     per-run imperfections — so the dispersion measures how much the
     *environment characterization itself* (not just a run pair) varies.
     """
+    from ..testbeds.base import Testbed
+
     seeds = tuple(int(s) for s in seeds)
     if not seeds:
         raise ValueError("need at least one seed")

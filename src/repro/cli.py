@@ -11,10 +11,13 @@ Mirrors the artifact's workflow from a shell:
 
 All commands honor ``--scale`` (capture duration relative to the paper's
 0.3 s; default from ``REPRO_SCALE`` or 0.25) and print plain text so
-output can be redirected into experiment logs.  Commands that run the
-Section-3 analysis honor ``--jobs N`` (default from ``REPRO_JOBS`` or 1),
-fanning the comparison across N processes via :mod:`repro.parallel`;
-output is identical at any job count.
+output can be redirected into experiment logs.  Commands that simulate or
+run the Section-3 analysis honor ``--jobs N`` (default from ``REPRO_JOBS``
+or 1), fanning both the trial simulation and the comparison across N
+processes via :mod:`repro.parallel`; output is identical at any job count.
+Every worker draws from one process-global pool, created lazily on the
+first parallel stage and torn down when the command exits — including on
+error paths (see :mod:`repro.parallel.pool`).
 """
 
 from __future__ import annotations
@@ -37,8 +40,8 @@ def build_parser() -> argparse.ArgumentParser:
     def add_jobs(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--jobs", type=int, default=None, metavar="N",
-            help="analysis worker processes (default REPRO_JOBS or 1; "
-            "output is identical at any N)",
+            help="worker processes for simulation and analysis (default "
+            "REPRO_JOBS or 1; output is identical at any N)",
         )
 
     sub.add_parser("scenarios", help="list registered evaluation environments")
@@ -129,7 +132,7 @@ def _cmd_simulate(args) -> int:
         profile = sc.profile(args.scale)
         seed = sc.seed if args.seed is None else args.seed
     print(f"simulating {profile.name} ({profile.describe()}) seed={seed}", file=sys.stderr)
-    trials = Testbed(profile, seed=seed).run_series(args.runs)
+    trials = Testbed(profile, seed=seed).run_series(args.runs, jobs=args.jobs)
     if args.output:
         paths = save_series(trials, args.output)
         print(f"saved {len(paths)} captures under {args.output}", file=sys.stderr)
@@ -245,7 +248,14 @@ _COMMANDS = {
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    The worker pool (if any stage created one) is torn down before
+    returning — on success, error exit codes, and exceptions alike — so a
+    CLI invocation can never leak worker processes.
+    """
+    from .parallel.pool import shutdown_pool
+
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
@@ -256,3 +266,5 @@ def main(argv: list[str] | None = None) -> int:
         except Exception:
             pass
         return 0
+    finally:
+        shutdown_pool()

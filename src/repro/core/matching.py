@@ -22,7 +22,7 @@ import numpy as np
 
 from .trial import Trial
 
-__all__ = ["Matching", "occurrence_ranks", "match_trials"]
+__all__ = ["Matching", "occurrence_ranks", "match_tag_arrays", "match_trials"]
 
 
 def occurrence_ranks(tags: np.ndarray) -> np.ndarray:
@@ -102,24 +102,26 @@ class Matching:
         return order_b.astype(np.int64, copy=False)
 
 
-def match_trials(a: Trial, b: Trial) -> Matching:
-    """Compute the aligned common packets of two trials.
+def match_tag_arrays(
+    tags_a: np.ndarray, tags_b: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Aligned ``(tag, occurrence)`` index pairs of two tag sequences.
 
-    Packets are keyed by ``(tag, occurrence rank)``.  The result lists
-    common packets in A's arrival order.
+    The computational core of :func:`match_trials`, exposed separately so
+    the sharded matcher (:mod:`repro.parallel.matchshard`) can run the
+    *identical* operations on tag subsets: occurrence ranks are computed
+    among equal tags only, so restricting both sequences to any set of tag
+    values yields exactly the rows of the full matching whose tags fall in
+    that set.
 
-    Raises
-    ------
-    OverflowError
-        If the packed 64-bit key space would overflow (requires more than
-        ~3e9 distinct tags × occurrences, far beyond any realistic trial).
+    Returns ``(ia, ib)``: intp position arrays sorted by ``ia``.
     """
-    na, nb = len(a), len(b)
+    na, nb = tags_a.shape[0], tags_b.shape[0]
     if na == 0 or nb == 0:
         empty = np.empty(0, dtype=np.intp)
-        return Matching(empty, empty, na, nb)
+        return empty, empty
 
-    all_tags = np.concatenate([a.tags, b.tags])
+    all_tags = np.concatenate([tags_a, tags_b])
     _, inverse = np.unique(all_tags, return_inverse=True)
     ids_a = inverse[:na].astype(np.int64, copy=False)
     ids_b = inverse[na:].astype(np.int64, copy=False)
@@ -139,9 +141,23 @@ def match_trials(a: Trial, b: Trial) -> Matching:
     _, ia, ib = np.intersect1d(key_a, key_b, assume_unique=True, return_indices=True)
 
     order = np.argsort(ia, kind="stable")
-    return Matching(
+    return (
         ia[order].astype(np.intp, copy=False),
         ib[order].astype(np.intp, copy=False),
-        na,
-        nb,
     )
+
+
+def match_trials(a: Trial, b: Trial) -> Matching:
+    """Compute the aligned common packets of two trials.
+
+    Packets are keyed by ``(tag, occurrence rank)``.  The result lists
+    common packets in A's arrival order.
+
+    Raises
+    ------
+    OverflowError
+        If the packed 64-bit key space would overflow (requires more than
+        ~3e9 distinct tags × occurrences, far beyond any realistic trial).
+    """
+    ia, ib = match_tag_arrays(a.tags, b.tags)
+    return Matching(ia, ib, len(a), len(b))

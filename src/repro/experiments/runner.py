@@ -5,16 +5,17 @@ Several figures and both tables draw on the same underlying trial series
 local-single series).  ``run_scenario`` memoizes by (scenario, scale,
 n_runs, seed) so a full benchmark session simulates each environment once.
 
-Analysis fan-out: ``run_scenario(..., jobs=N)`` (or ``REPRO_JOBS=N`` in
-the environment) routes the comparison through
-:func:`repro.parallel.compare_series_parallel`, which is exactly equal to
-the serial path — figure and table reproductions are byte-stable under any
-job count.
+Fan-out: ``run_scenario(..., jobs=N)`` (or ``REPRO_JOBS=N`` in the
+environment) parallelizes **both** stages on the shared worker pool — the
+simulation through :class:`repro.parallel.SimFarm` and the comparison
+through :func:`repro.parallel.compare_series_parallel` — and both are
+exactly equal to their serial paths, so figure and table reproductions are
+byte-stable under any job count.  The series cache is therefore keyed
+*without* the job count: trials simulated at any ``jobs`` are
+interchangeable bit-for-bit.
 """
 
 from __future__ import annotations
-
-from functools import lru_cache
 
 from ..core.report import RunSeriesReport, compare_series
 from ..core.trial import Trial
@@ -41,21 +42,47 @@ def analyze_trials(
 
 
 def run_trials(
-    profile: EnvironmentProfile, n_runs: int = 5, seed: int = 0
+    profile: EnvironmentProfile,
+    n_runs: int = 5,
+    seed: int = 0,
+    jobs: int | None = None,
 ) -> list[Trial]:
-    """Run a trial series on an ad-hoc profile (the quickstart entry point)."""
-    return Testbed(profile, seed=seed).run_series(n_runs)
+    """Run a trial series on an ad-hoc profile (the quickstart entry point).
+
+    ``jobs`` fans the independent replays across the shared worker pool;
+    the trials are bit-identical at any value.
+    """
+    return Testbed(profile, seed=seed).run_series(n_runs, jobs=jobs)
 
 
-@lru_cache(maxsize=32)
+#: Memoized series per (scenario, scale, n_runs, seed).  A plain dict, not
+#: ``lru_cache``: the job count must NOT be part of the key (output is
+#: jobs-invariant, and a jobs-keyed cache would re-simulate — and break the
+#: identity guarantee tests rely on — when a caller switches job counts).
+_series_cache: dict = {}
+_SERIES_CACHE_MAX = 32
+
+
 def _cached_series(
-    key: str, duration_scale: float, n_runs: int, seed_override: int | None
+    key: str,
+    duration_scale: float,
+    n_runs: int,
+    seed_override: int | None,
+    jobs: int | None = None,
 ) -> tuple[tuple[Trial, ...], str]:
+    cache_key = (key, duration_scale, n_runs, seed_override)
+    hit = _series_cache.get(cache_key)
+    if hit is not None:
+        return hit
     sc = scenario(key)
     profile = sc.profile(duration_scale)
     seed = sc.seed if seed_override is None else seed_override
-    trials = Testbed(profile, seed=seed).run_series(n_runs)
-    return tuple(trials), profile.name
+    trials = Testbed(profile, seed=seed).run_series(n_runs, jobs=jobs)
+    result = (tuple(trials), profile.name)
+    if len(_series_cache) >= _SERIES_CACHE_MAX:
+        _series_cache.pop(next(iter(_series_cache)))
+    _series_cache[cache_key] = result
+    return result
 
 
 def run_scenario_trials(
@@ -64,11 +91,16 @@ def run_scenario_trials(
     duration_scale: float | None = None,
     n_runs: int = 5,
     seed: int | None = None,
+    jobs: int | None = None,
 ) -> list[Trial]:
-    """The raw trials of a registered scenario (memoized per process)."""
+    """The raw trials of a registered scenario (memoized per process).
+
+    ``jobs`` only affects how a cache *miss* is simulated (serially or on
+    the pool); hits return the identical cached tuple either way.
+    """
     sc = scenario(key)  # validate the key before touching the cache
     scale = duration_scale if duration_scale is not None else _default_scale()
-    trials, _ = _cached_series(sc.key, scale, n_runs, seed)
+    trials, _ = _cached_series(sc.key, scale, n_runs, seed, jobs)
     return list(trials)
 
 
@@ -82,12 +114,13 @@ def run_scenario(
 ) -> RunSeriesReport:
     """Run (or reuse) a scenario's series and return its analysis report.
 
-    ``jobs`` fans the Section-3 analysis out across processes (default:
-    ``REPRO_JOBS`` or serial); the report is identical either way.
+    ``jobs`` fans both the simulation (on a cache miss) and the Section-3
+    analysis out across the shared pool (default: ``REPRO_JOBS`` or
+    serial); the report is identical either way.
     """
     sc = scenario(key)
     scale = duration_scale if duration_scale is not None else _default_scale()
-    trials, env_name = _cached_series(sc.key, scale, n_runs, seed)
+    trials, env_name = _cached_series(sc.key, scale, n_runs, seed, jobs)
     return analyze_trials(list(trials), environment=env_name, jobs=jobs)
 
 

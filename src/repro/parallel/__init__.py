@@ -18,9 +18,19 @@ staying **bit-identical** to the serial path:
   :func:`~repro.parallel.engine.compare_series_parallel` /
   :func:`~repro.parallel.engine.compare_trials_parallel` drop-ins.
 
+The *simulation* stage fans out through the same machinery:
+
+* :mod:`~repro.parallel.pool` — the persistent, process-global worker
+  pool every fan-out draws from (one pool per ``repro`` invocation);
+* :class:`~repro.parallel.simfarm.SimFarm` — per-run ``SeedSequence``
+  fan-out of ``Testbed.run_series`` replays, bit-identical to serial;
+* :func:`~repro.parallel.matchshard.match_trials_sharded` — bucket-
+  parallel packet matching, exactly equal to the serial matcher.
+
 See ``docs/parallel.md`` for the sharding model and the exactness
-argument, and ``tests/test_parallel_differential.py`` for the differential
-harness that proves parallel == serial.
+argument, and ``tests/test_parallel_differential.py`` /
+``tests/test_sim_differential.py`` for the differential harnesses that
+prove parallel == serial.
 """
 
 from .engine import (
@@ -28,14 +38,26 @@ from .engine import (
     compare_series_parallel,
     compare_trials_parallel,
 )
+from .matchshard import DEFAULT_MIN_MATCH_PACKETS, match_trials_sharded
 from .partials import MergedTimings, ShardPartial, compute_shard_partial, merge_partials
+from .pool import PoolStats, gather, get_pool, pool_scope, pool_stats, shutdown_pool
 from .shard import DEFAULT_MIN_SHARD_PACKETS, ShardPlan, ShardPlanner, default_jobs
 from .shm import ArraySpec, ShmArena
+from .simfarm import SimFarm, run_series_parallel
 
 __all__ = [
     "ParallelComparator",
     "compare_trials_parallel",
     "compare_series_parallel",
+    "SimFarm",
+    "run_series_parallel",
+    "match_trials_sharded",
+    "get_pool",
+    "shutdown_pool",
+    "pool_stats",
+    "pool_scope",
+    "gather",
+    "PoolStats",
     "ShardPlanner",
     "ShardPlan",
     "ShardPartial",
@@ -45,5 +67,6 @@ __all__ = [
     "ArraySpec",
     "ShmArena",
     "DEFAULT_MIN_SHARD_PACKETS",
+    "DEFAULT_MIN_MATCH_PACKETS",
     "default_jobs",
 ]

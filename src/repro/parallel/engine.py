@@ -27,8 +27,6 @@ arrays travel through ``multiprocessing.shared_memory`` (see
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-
 import numpy as np
 
 from ..core.histograms import DeltaHistogram, SymlogBins, pct_within_from_counts
@@ -44,7 +42,9 @@ from ..core.ordering import (
 from ..core.report import PairReport, RunSeriesReport, compare_trials
 from ..core.trial import Trial
 from ..core.uniqueness import uniqueness_from_matching
+from .matchshard import DEFAULT_MIN_MATCH_PACKETS, match_trials_sharded
 from .partials import compute_shard_partial, merge_partials
+from .pool import gather, get_pool
 from .shard import DEFAULT_MIN_SHARD_PACKETS, ShardPlanner, default_jobs
 from .shm import ShmArena, attach_view, detach_all
 
@@ -150,10 +150,17 @@ class ParallelComparator:
         Smallest auto-sized shard worth a task dispatch.
     within_ns:
         Bound for the headline ±IAT statistic (as in ``compare_trials``).
+    match_buckets:
+        Sharded-matching control.  ``None`` (default) auto-enables bucket
+        matching when a pool is in use and the pair is large enough to
+        repay the dispatch; ``0`` disables it; any value ``>= 2`` forces
+        that many buckets (tests pin exactness with it).
 
-    The comparator owns its process pool; reuse one instance across many
-    comparisons (pool startup costs real milliseconds), and close it with
-    :meth:`close` or a ``with`` block.
+    The comparator draws on the process-global worker pool
+    (:func:`repro.parallel.pool.get_pool`) — pool startup is paid once per
+    invocation, not per comparator.  :meth:`close` is retained for
+    API compatibility but no longer tears the shared pool down; the CLI
+    (or :func:`repro.parallel.pool.shutdown_pool`) owns that.
     """
 
     def __init__(
@@ -163,32 +170,44 @@ class ParallelComparator:
         shard_packets: int | None = None,
         min_shard_packets: int = DEFAULT_MIN_SHARD_PACKETS,
         within_ns: float = 10.0,
+        match_buckets: int | None = None,
     ) -> None:
         self.jobs = default_jobs() if jobs is None else int(jobs)
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if match_buckets is not None and match_buckets not in (0,) and match_buckets < 2:
+            raise ValueError("match_buckets must be None, 0, or >= 2")
         self.shard_packets = shard_packets
         self.min_shard_packets = min_shard_packets
         self.within_ns = within_ns
-        self._executor: ProcessPoolExecutor | None = None
+        self.match_buckets = match_buckets
 
     # -- lifecycle -------------------------------------------------------
-    def _pool(self) -> ProcessPoolExecutor:
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
-        return self._executor
-
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        """No-op: the pool is process-global and outlives the comparator."""
 
     def __enter__(self) -> "ParallelComparator":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    def _match(self, baseline: Trial, run: Trial) -> Matching:
+        """The pair's matching — bucket-sharded across the pool when it pays.
+
+        The result is bit-identical to :func:`match_trials` in every
+        configuration (see :mod:`repro.parallel.matchshard` for why), so
+        this choice is purely a scheduling decision.
+        """
+        if self.match_buckets == 0:
+            return match_trials(baseline, run)
+        if self.match_buckets is not None:
+            return match_trials_sharded(
+                baseline, run, jobs=self.jobs, n_buckets=self.match_buckets
+            )
+        if self.jobs > 1 and min(len(baseline), len(run)) >= DEFAULT_MIN_MATCH_PACKETS:
+            return match_trials_sharded(baseline, run, jobs=self.jobs)
+        return match_trials(baseline, run)
 
     def _planner(self) -> ShardPlanner:
         return ShardPlanner(
@@ -255,7 +274,7 @@ class ParallelComparator:
         self, baseline: Trial, runs: list[Trial], bins: SymlogBins
     ) -> list[PairReport]:
         """Pair-level fan-out: one serial comparison per worker task."""
-        pool = self._pool()
+        pool = get_pool(self.jobs)
         with ShmArena(enabled=True) as arena:
             tags_a = arena.share(baseline.tags)
             times_a = arena.share(baseline.times_ns)
@@ -274,7 +293,7 @@ class ParallelComparator:
                     "within_ns": self.within_ns,
                 }
                 futures.append(pool.submit(_whole_pair_worker, task))
-            return [f.result() for f in futures]
+            return gather(futures)
 
     def _compare_pair_sharded(
         self,
@@ -285,7 +304,7 @@ class ParallelComparator:
         slots: int | None,
     ) -> PairReport:
         """Within-pair fan-out: timing shards + one ordering task, merged."""
-        m = match_trials(baseline, run)
+        m = self._match(baseline, run)
         plan = planner.plan_pair(m.n_common, slots=slots)
         use_pool = self.jobs > 1
         with ShmArena(enabled=use_pool) as arena:
@@ -318,15 +337,15 @@ class ParallelComparator:
                 for lo, hi in plan.bounds
             ]
             if use_pool:
-                pool = self._pool()
+                pool = get_pool(self.jobs)
                 # The ordering task is the long pole (global LCS); launch
                 # it first so it overlaps all the timing shards.
                 ordering_future = pool.submit(_ordering_worker, ordering_task)
                 shard_futures = [
                     pool.submit(_timing_shard_worker, t) for t in shard_tasks
                 ]
-                partials = [f.result() for f in shard_futures]
-                o_val, move_stats = ordering_future.result()
+                results = gather([ordering_future] + shard_futures)
+                (o_val, move_stats), partials = results[0], results[1:]
             else:
                 o_val, move_stats = _ordering_worker(ordering_task)
                 partials = [_timing_shard_worker(t) for t in shard_tasks]

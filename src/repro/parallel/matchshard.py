@@ -1,0 +1,154 @@
+"""Sharded packet matching: fan the ``A ∩ B`` step across the pool.
+
+``docs/parallel.md`` identifies the matching step as the dominant serial
+fraction of whole-pair fan-out: every other metric shards, but the parent
+used to compute :func:`repro.core.matching.match_trials` alone before any
+timing shard could launch.
+
+Matching *is* shardable, with the right partition.  Occurrence ranks — the
+disambiguator for repeated tags — are computed **among equal tag values
+only**, and the intersection pairs keys of the form ``(tag, occurrence)``.
+So partition packets by a function of the tag value alone (here
+``tag mod n_buckets``, on the unsigned view so negative tags land in a
+bucket too): every packet with a given tag, in both trials, lands in the
+same bucket; each bucket sees *all* occurrences of its tags and none of
+any other bucket's.  Running the identical
+:func:`~repro.core.matching.match_tag_arrays` on one bucket's packets
+therefore yields exactly the rows of the full matching whose tags fall in
+that bucket — same pairs, same occurrence ranks.  The union over buckets
+is the full row set, and re-sorting by the A-side index (unique across
+rows) reproduces the canonical row order bit-for-bit.
+
+Workers read tag arrays from shared memory and write global ``(ia, ib)``
+rows into pre-offset slices of shared output buffers (per-bucket capacity
+``min(|bucket in A|, |bucket in B|)``, an upper bound on common rows), so
+the only pickled traffic is a row count per bucket.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.matching import Matching, match_tag_arrays
+from ..core.trial import Trial
+from .pool import gather, get_pool
+from .shard import default_jobs
+from .shm import ShmArena, attach_view, detach_all
+
+__all__ = ["match_trials_sharded", "DEFAULT_MIN_MATCH_PACKETS"]
+
+#: Below this many packets (smaller trial) the serial matcher wins — task
+#: dispatch plus per-bucket scans cost more than the intersection saves.
+DEFAULT_MIN_MATCH_PACKETS = 100_000
+
+
+def _bucket_ids(tags: np.ndarray, n_buckets: int) -> np.ndarray:
+    """Per-packet bucket: a pure function of the tag value."""
+    return (tags.view(np.uint64) % np.uint64(n_buckets)).astype(np.int64)
+
+
+def _match_bucket_worker(task: dict):
+    """Match one bucket's packets; write global rows at the bucket offset."""
+    attachments: dict = {}
+    try:
+        tags_a = attach_view(task["tags_a"], attachments)
+        tags_b = attach_view(task["tags_b"], attachments)
+        out_ia = attach_view(task["out_ia"], attachments)
+        out_ib = attach_view(task["out_ib"], attachments)
+        k = task["bucket"]
+        n_buckets = task["n_buckets"]
+        sel_a = np.flatnonzero(_bucket_ids(tags_a, n_buckets) == k)
+        sel_b = np.flatnonzero(_bucket_ids(tags_b, n_buckets) == k)
+        ia_local, ib_local = match_tag_arrays(tags_a[sel_a], tags_b[sel_b])
+        n = ia_local.shape[0]
+        lo = task["offset"]
+        # sel_a is ascending and ia_local is sorted, so the global rows
+        # written here are already sorted by ia within the bucket.
+        out_ia[lo : lo + n] = sel_a[ia_local]
+        out_ib[lo : lo + n] = sel_b[ib_local]
+        return n
+    finally:
+        detach_all(attachments)
+
+
+def match_trials_sharded(
+    a: Trial,
+    b: Trial,
+    *,
+    jobs: int | None = None,
+    n_buckets: int | None = None,
+) -> Matching:
+    """Bucket-parallel :func:`~repro.core.matching.match_trials` — exact.
+
+    ``jobs=None`` honors ``REPRO_JOBS``; at ``jobs=1`` the identical
+    bucket pipeline runs in-process (inline specs, no pool) so tests can
+    pin sharded == serial without a pool.  ``n_buckets`` defaults to
+    ``2 * jobs`` (enough slack that an uneven tag distribution cannot
+    serialize the pool) and is forced to at least 1.
+    """
+    jobs = default_jobs() if jobs is None else int(jobs)
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    if n_buckets is None:
+        n_buckets = max(2 * jobs, 1)
+    n_buckets = int(n_buckets)
+    if n_buckets < 1:
+        raise ValueError("n_buckets must be >= 1")
+
+    tags_a, tags_b = a.tags, b.tags
+    na, nb = tags_a.shape[0], tags_b.shape[0]
+    if na == 0 or nb == 0 or n_buckets == 1:
+        ia, ib = match_tag_arrays(tags_a, tags_b)
+        return Matching(ia, ib, na, nb)
+
+    # Per-bucket capacity: common rows cannot exceed the smaller side's
+    # bucket population.  Offsets carve one output buffer into slices.
+    counts_a = np.bincount(_bucket_ids(tags_a, n_buckets), minlength=n_buckets)
+    counts_b = np.bincount(_bucket_ids(tags_b, n_buckets), minlength=n_buckets)
+    caps = np.minimum(counts_a, counts_b)
+    offsets = np.concatenate([[0], np.cumsum(caps)])
+    total_cap = int(offsets[-1])
+
+    use_pool = jobs > 1
+    with ShmArena(enabled=use_pool) as arena:
+        spec_a = arena.share(tags_a)
+        spec_b = arena.share(tags_b)
+        out_ia, ia_buf = arena.allocate(total_cap, np.int64)
+        out_ib, ib_buf = arena.allocate(total_cap, np.int64)
+        tasks = [
+            {
+                "tags_a": spec_a,
+                "tags_b": spec_b,
+                "out_ia": out_ia,
+                "out_ib": out_ib,
+                "bucket": k,
+                "n_buckets": n_buckets,
+                "offset": int(offsets[k]),
+            }
+            for k in range(n_buckets)
+            if caps[k] > 0
+        ]
+        if use_pool:
+            pool = get_pool(jobs)
+            ns = gather([pool.submit(_match_bucket_worker, t) for t in tasks])
+        else:
+            ns = [_match_bucket_worker(t) for t in tasks]
+
+        segments_ia = [
+            ia_buf[t["offset"] : t["offset"] + n] for t, n in zip(tasks, ns)
+        ]
+        segments_ib = [
+            ib_buf[t["offset"] : t["offset"] + n] for t, n in zip(tasks, ns)
+        ]
+        ia = np.concatenate(segments_ia) if segments_ia else np.empty(0, np.int64)
+        ib = np.concatenate(segments_ib) if segments_ib else np.empty(0, np.int64)
+
+    # Canonical row order: sorted by the A-side index (unique across
+    # buckets, so the sort is a permutation with no ties to break).
+    order = np.argsort(ia, kind="stable")
+    return Matching(
+        ia[order].astype(np.intp, copy=False),
+        ib[order].astype(np.intp, copy=False),
+        na,
+        nb,
+    )

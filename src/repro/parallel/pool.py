@@ -1,0 +1,139 @@
+"""The persistent, process-global worker pool.
+
+One ``repro report`` regenerates both tables and all thirteen figures:
+before this module existed every series comparison (and every simulated
+series) spun up its own :class:`~concurrent.futures.ProcessPoolExecutor`,
+paying pool startup — fork, import, allocator warm-up — dozens of times
+per invocation, and an exception between two series could leave a pool
+running with no owner to shut it down.
+
+This module owns exactly one pool per process instead:
+
+* :func:`get_pool` creates it **lazily** on first use and hands the same
+  executor to every caller — the simulation fan-out
+  (:mod:`repro.parallel.simfarm`), the comparison engine
+  (:mod:`repro.parallel.engine`) and the sharded matching
+  (:mod:`repro.parallel.matchshard`) all draw from it;
+* :func:`shutdown_pool` tears it down; the CLI calls it in a ``finally``
+  so error exits cannot leak workers, and an ``atexit`` hook covers
+  library users who never call it;
+* :func:`pool_stats` exposes the lifecycle counters the tests assert on
+  ("exactly one pool per invocation" is a tested property, not a hope).
+
+Requesting a different worker count than the live pool has is a
+**resize**: the old pool is drained and a fresh one created (job counts
+never change mid-invocation in real use; tests sweep them).  Exactness is
+never at stake — every consumer of the pool is bit-identical to its
+serial path at any worker count — only startup cost is.
+
+:func:`gather` is the companion error-path helper: it waits on a batch of
+futures *in submission order* and, when one fails, cancels the rest and
+drains the pool before re-raising.  Without the drain, sibling tasks of a
+failed batch would still be running when the caller's ``ShmArena``
+unlinks their input segments — under the old pool-per-series design that
+stalled the pool's own teardown; under a shared pool it would poison the
+*next* batch.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+
+__all__ = ["get_pool", "shutdown_pool", "pool_stats", "pool_scope", "gather", "PoolStats"]
+
+
+_lock = threading.Lock()
+_executor: ProcessPoolExecutor | None = None
+_executor_jobs: int = 0
+_created_total: int = 0
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """Lifecycle snapshot of the global pool (for tests and diagnostics)."""
+
+    active: bool
+    jobs: int
+    created_total: int
+
+
+def get_pool(jobs: int) -> ProcessPoolExecutor:
+    """The process-global executor, created lazily with ``jobs`` workers.
+
+    Serial paths (``jobs=1``) never touch the pool — callers must only
+    ask for one when they actually fan out.
+    """
+    global _executor, _executor_jobs, _created_total
+    jobs = int(jobs)
+    if jobs < 2:
+        raise ValueError("the worker pool is for fan-out; serial paths run in-process")
+    with _lock:
+        if _executor is not None and (
+            _executor_jobs != jobs or getattr(_executor, "_broken", False)
+        ):
+            _executor.shutdown(wait=True)
+            _executor = None
+        if _executor is None:
+            _executor = ProcessPoolExecutor(max_workers=jobs)
+            _executor_jobs = jobs
+            _created_total += 1
+        return _executor
+
+
+def shutdown_pool() -> None:
+    """Drain and discard the global pool (idempotent, safe to call always)."""
+    global _executor
+    with _lock:
+        if _executor is not None:
+            _executor.shutdown(wait=True)
+            _executor = None
+
+
+# Library users (no CLI ``finally``) still get a clean interpreter exit.
+atexit.register(shutdown_pool)
+
+
+def pool_stats() -> PoolStats:
+    """Current lifecycle counters."""
+    with _lock:
+        return PoolStats(
+            active=_executor is not None,
+            jobs=_executor_jobs if _executor is not None else 0,
+            created_total=_created_total,
+        )
+
+
+class pool_scope:
+    """``with pool_scope():`` — guarantee teardown at scope exit.
+
+    The CLI wraps each command in one so that both clean exits and
+    exceptions drain the pool; nesting is harmless (teardown is
+    idempotent, and an outer scope simply finds the pool already gone).
+    """
+
+    def __enter__(self) -> "pool_scope":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        shutdown_pool()
+
+
+def gather(futures: list[Future]) -> list:
+    """Results of ``futures`` in list order; on error, drain before raising.
+
+    Cancels everything still pending, then waits for the already-running
+    tasks to finish, so no worker is still reading a shared-memory segment
+    the caller is about to unlink — the failure mode that used to leave a
+    doomed pool (and its segments) behind when one task of a series
+    raised.
+    """
+    try:
+        return [f.result() for f in futures]
+    except BaseException:
+        for f in futures:
+            f.cancel()
+        wait(futures)
+        raise

@@ -16,11 +16,22 @@ This is the simulation equivalent of the paper's evaluation protocol
 Each run draws fresh per-run imperfections (start latency, frequency
 error, stalls, clock steps, background realization) from a seeded
 generator, so a series is exactly reproducible from its seed.
+
+Seed discipline (pinned by ``tests/test_sim_seed_scheme.py``): the series
+seed is a :class:`numpy.random.SeedSequence` root; each ``run_series``
+call spawns one *series* child, which spawns one child for the shared
+record phase plus one **per run**.  Every run therefore owns a private,
+independent random stream keyed only by ``(seed, series index, run
+index)`` — a run's packets do not depend on how many runs precede it, in
+which order runs execute, or whether they execute in this process at all.
+That independence is what lets :class:`repro.parallel.simfarm.SimFarm`
+fan runs out across the persistent worker pool with bit-identical
+results at any ``jobs`` count.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -30,13 +41,21 @@ from ..generators.splitter import split_by_port
 from ..net.link import Link
 from ..net.pktarray import PacketArray
 from ..net.sriov import SharedPort
-from ..replay.choir import ChoirNode
+from ..replay.choir import ChoirNode, ChoirState
+from ..replay.recording import Recording
 from ..timing.clock import SystemClock
 from ..timing.hwstamp import RealtimeHWStamper
 from ..timing.ptp import PTPDomain
 from .profiles import EnvironmentProfile
 
-__all__ = ["Testbed", "RunArtifacts"]
+__all__ = [
+    "Testbed",
+    "RunArtifacts",
+    "SeriesSeedPlan",
+    "series_seed_plan",
+    "build_nodes",
+    "simulate_run",
+]
 
 #: Scheduled replay start used for every run; runs are simulated
 #: independently, so a common virtual epoch keeps alignment trivial.
@@ -52,6 +71,159 @@ class RunArtifacts:
     n_stalls: int
     freq_errors_ppm: tuple[float, ...]
     start_offsets_ns: tuple[float, ...]
+    #: Spawn key of the run's :class:`~numpy.random.SeedSequence` (empty
+    #: for legacy callers that drive :meth:`Testbed.run_one` directly).
+    #: Together with the testbed seed it identifies the run's random
+    #: stream exactly — the provenance the differential suite pins.
+    seed_key: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class SeriesSeedPlan:
+    """The seed derivation of one trial series — the reproducibility key.
+
+    Derivation (do not change without updating the pinned regression
+    test): ``SeedSequence(seed).spawn(series_index + 1)[series_index]``
+    is the series sequence; its first child seeds the record phase, and
+    child ``1 + i`` seeds run ``i``.  Run streams are therefore mutually
+    independent by :meth:`numpy.random.SeedSequence.spawn` construction.
+    """
+
+    entropy: int
+    record: np.random.SeedSequence
+    runs: tuple[np.random.SeedSequence, ...]
+
+
+def series_seed_plan(seed: int, n_runs: int, series_index: int = 0) -> SeriesSeedPlan:
+    """Derive the record-phase and per-run seed sequences of one series."""
+    if n_runs < 1:
+        raise ValueError("n_runs must be >= 1")
+    if series_index < 0:
+        raise ValueError("series_index must be >= 0")
+    root = np.random.SeedSequence(int(seed))
+    series = root.spawn(series_index + 1)[series_index]
+    children = series.spawn(n_runs + 1)
+    return SeriesSeedPlan(int(seed), children[0], tuple(children[1:]))
+
+
+def build_nodes(profile: EnvironmentProfile) -> list[ChoirNode]:
+    """The environment's replay nodes, fresh and in standby.
+
+    Node construction is deterministic given the profile — workers of the
+    simulation fan-out rebuild identical nodes from the pickled profile
+    and only the recordings travel through shared memory.
+    """
+    return [
+        ChoirNode(
+            name=f"replayer-{k}",
+            tx_nic=profile.tx_nic,
+            loop_cost=profile.loop_cost,
+            replay_loop_cost=profile.replay_loop_cost,
+            timing=profile.replay_timing,
+            clock=SystemClock(),
+            buffer_bytes=profile.buffer_bytes,
+        )
+        for k in range(profile.n_replayers)
+    ]
+
+
+def simulate_run(
+    profile: EnvironmentProfile,
+    recordings: list[Recording],
+    run_seq: np.random.SeedSequence,
+    label: str = "",
+) -> RunArtifacts:
+    """Simulate one replay run from its seed sequence — the fan-out unit.
+
+    Rebuilds fresh nodes, arms them with the (immutable) recordings, and
+    replays with a private generator seeded from ``run_seq``.  This is the
+    exact function the serial path runs in-process and the worker pool
+    runs remotely; a run's output depends only on ``(profile, recordings,
+    run_seq, label)``, never on sibling runs.
+    """
+    nodes = build_nodes(profile)
+    if len(recordings) != len(nodes):
+        raise ValueError(
+            f"profile has {len(nodes)} replayers but {len(recordings)} "
+            "recordings were supplied"
+        )
+    for node, recording in zip(nodes, recordings):
+        node.recording = recording
+        node.state = ChoirState.ARMED
+
+    rng = np.random.default_rng(run_seq)
+    ptp = PTPDomain(profile=profile.ptp, rng=rng)
+    for node in nodes:
+        ptp.followers[node.name] = node.clock
+
+    artifacts = _replay_once(profile, nodes, ptp, rng, label)
+    return replace(
+        artifacts, seed_key=tuple(int(k) for k in run_seq.spawn_key)
+    )
+
+
+def _replay_once(
+    profile: EnvironmentProfile,
+    nodes: list[ChoirNode],
+    ptp: PTPDomain,
+    rng: np.random.Generator,
+    label: str = "",
+) -> RunArtifacts:
+    """Phase 3-4 for a single run (shared by legacy and seeded drivers)."""
+    p = profile
+    ptp.synchronize_all()
+
+    outcomes = [node.replay(REPLAY_EPOCH_NS, rng) for node in nodes]
+
+    if p.switch is not None:
+        merged = p.switch.forward_merged([o.egress for o in outcomes], rng)
+    else:
+        merged, _ = PacketArray.merge([o.egress for o in outcomes])
+
+    if p.wan is not None:
+        merged = p.wan.traverse(merged, rng)
+
+    n_dropped = 0
+    if p.background is not None:
+        bg_gen = p.background.generator
+        # Background spans the replay window with margin on both sides.
+        t0 = float(merged.times_ns[0]) - 1e6
+        span = float(merged.times_ns[-1]) - t0 + 2e6
+        background = bg_gen.generate(span, rng, start_ns=t0)
+        port = SharedPort(
+            rate_bps=p.shared_port_rate_bps,
+            vf_queue_packets=p.background.vf_queue_packets,
+        )
+        result = port.traverse(merged, background)
+        delivered = result.batch
+        n_dropped = result.n_dropped
+    else:
+        recorder_link = Link(rate_bps=p.shared_port_rate_bps, propagation_ns=500.0)
+        delivered = recorder_link.traverse(merged)
+
+    stamper = p.rx_stamper if p.rx_stamper is not None else RealtimeHWStamper()
+    stamped = stamper.stamp(delivered.times_ns, rng)
+    stamped = p.clock_steps.apply(stamped, p.duration_ns, rng)
+
+    # The recorder's own clock phase (PTP residual of this epoch).
+    recorder_offset = float(rng.normal(0.0, p.ptp.residual_ns))
+    stamped = stamped + recorder_offset
+
+    trial = Trial.from_arrival_events(
+        delivered.tags,
+        stamped - REPLAY_EPOCH_NS,
+        label=label,
+        meta={"environment": p.name, "n_dropped": n_dropped},
+    )
+    return RunArtifacts(
+        trial=trial,
+        n_dropped=n_dropped,
+        n_stalls=sum(o.n_stalls for o in outcomes),
+        freq_errors_ppm=tuple(o.freq_error_ppm for o in outcomes),
+        start_offsets_ns=tuple(
+            o.achieved_start_ns - REPLAY_EPOCH_NS for o in outcomes
+        ),
+    )
 
 
 @dataclass
@@ -64,26 +236,13 @@ class Testbed:
 
     profile: EnvironmentProfile
     seed: int = 0
-    _rng: np.random.Generator = field(init=False, repr=False)
-
-    def __post_init__(self) -> None:
-        self._rng = np.random.default_rng(self.seed)
+    #: Series spawned so far; successive run_series calls on one testbed
+    #: derive distinct (but reproducible) seed plans.
+    _series_count: int = field(init=False, default=0, repr=False)
 
     # ------------------------------------------------------------------
     def _build_nodes(self) -> list[ChoirNode]:
-        p = self.profile
-        return [
-            ChoirNode(
-                name=f"replayer-{k}",
-                tx_nic=p.tx_nic,
-                loop_cost=p.loop_cost,
-                replay_loop_cost=p.replay_loop_cost,
-                timing=p.replay_timing,
-                clock=SystemClock(),
-                buffer_bytes=p.buffer_bytes,
-            )
-            for k in range(p.n_replayers)
-        ]
+        return build_nodes(self.profile)
 
     def _record_all(
         self, nodes: list[ChoirNode], rng: np.random.Generator
@@ -104,88 +263,43 @@ class Testbed:
         self, nodes: list[ChoirNode], ptp: PTPDomain, rng: np.random.Generator,
         label: str = "",
     ) -> RunArtifacts:
-        """Phase 3-4 for a single run."""
-        p = self.profile
-        ptp.synchronize_all()
-
-        outcomes = [node.replay(REPLAY_EPOCH_NS, rng) for node in nodes]
-
-        if p.switch is not None:
-            merged = p.switch.forward_merged([o.egress for o in outcomes], rng)
-        else:
-            merged, _ = PacketArray.merge([o.egress for o in outcomes])
-
-        if p.wan is not None:
-            merged = p.wan.traverse(merged, rng)
-
-        n_dropped = 0
-        if p.background is not None:
-            bg_gen = p.background.generator
-            # Background spans the replay window with margin on both sides.
-            t0 = float(merged.times_ns[0]) - 1e6
-            span = float(merged.times_ns[-1]) - t0 + 2e6
-            background = bg_gen.generate(span, rng, start_ns=t0)
-            port = SharedPort(
-                rate_bps=p.shared_port_rate_bps,
-                vf_queue_packets=p.background.vf_queue_packets,
-            )
-            result = port.traverse(merged, background)
-            delivered = result.batch
-            n_dropped = result.n_dropped
-        else:
-            recorder_link = Link(rate_bps=p.shared_port_rate_bps, propagation_ns=500.0)
-            delivered = recorder_link.traverse(merged)
-
-        stamper = p.rx_stamper if p.rx_stamper is not None else RealtimeHWStamper()
-        stamped = stamper.stamp(delivered.times_ns, rng)
-        stamped = p.clock_steps.apply(stamped, p.duration_ns, rng)
-
-        # The recorder's own clock phase (PTP residual of this epoch).
-        recorder_offset = float(rng.normal(0.0, p.ptp.residual_ns))
-        stamped = stamped + recorder_offset
-
-        trial = Trial.from_arrival_events(
-            delivered.tags,
-            stamped - REPLAY_EPOCH_NS,
-            label=label,
-            meta={"environment": p.name, "n_dropped": n_dropped},
-        )
-        return RunArtifacts(
-            trial=trial,
-            n_dropped=n_dropped,
-            n_stalls=sum(o.n_stalls for o in outcomes),
-            freq_errors_ppm=tuple(o.freq_error_ppm for o in outcomes),
-            start_offsets_ns=tuple(
-                o.achieved_start_ns - REPLAY_EPOCH_NS for o in outcomes
-            ),
-        )
+        """Phase 3-4 for a single run (caller-managed nodes/PTP/rng)."""
+        return _replay_once(self.profile, nodes, ptp, rng, label)
 
     # ------------------------------------------------------------------
     def run_series(
         self, n_runs: int = 5, *, labels: list[str] | None = None,
-        collect_artifacts: bool = False,
+        collect_artifacts: bool = False, jobs: int | None = None,
     ):
         """Record once, replay ``n_runs`` times; return the trials.
 
         With ``collect_artifacts=True`` returns ``(trials, artifacts)``.
         Labels default to the paper's A, B, C, ... convention.
+
+        ``jobs`` fans the (seed-independent) runs out across the
+        persistent worker pool; ``None`` honors ``REPRO_JOBS`` (default
+        1 — in-process).  The trials are bit-identical at any job count:
+        each run's stream comes from its own spawned
+        :class:`~numpy.random.SeedSequence` (see :func:`series_seed_plan`),
+        so fan-out changes scheduling, never sampling.
         """
         if n_runs < 1:
             raise ValueError("n_runs must be >= 1")
-        p = self.profile
-        nodes = self._build_nodes()
-        self._record_all(nodes, self._rng)
+        plan = series_seed_plan(self.seed, n_runs, series_index=self._series_count)
+        self._series_count += 1
 
-        ptp = PTPDomain(profile=p.ptp, rng=self._rng)
-        for node in nodes:
-            ptp.followers[node.name] = node.clock
+        nodes = self._build_nodes()
+        self._record_all(nodes, np.random.default_rng(plan.record))
+        recordings = [node.recording for node in nodes]
 
         if labels is None:
             labels = [chr(ord("A") + i) if i < 26 else f"run{i}" for i in range(n_runs)]
-        artifacts = [
-            self.run_one(nodes, ptp, self._rng, label=labels[i])
-            for i in range(n_runs)
-        ]
+
+        from ..parallel.simfarm import SimFarm
+
+        artifacts = SimFarm(jobs=jobs).run_series(
+            self.profile, recordings, plan.runs, labels
+        )
         trials = [a.trial for a in artifacts]
         if collect_artifacts:
             return trials, artifacts

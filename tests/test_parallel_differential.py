@@ -186,6 +186,50 @@ class TestDegenerateShapes:
         assert_pair_equal(got, want)
 
 
+class TestShardedMatching:
+    """Tag-bucketed matching must reproduce the serial matcher exactly."""
+
+    @pytest.mark.parametrize("jobs", JOB_COUNTS)
+    def test_forced_match_buckets_exact(self, jobs):
+        from repro.core.matching import match_trials
+
+        rng = np.random.default_rng(4242 + jobs)
+        for buckets in (2, 3, 8):
+            a, b = random_pair(rng, 300)
+            with ParallelComparator(
+                jobs=jobs, shard_packets=53, match_buckets=buckets
+            ) as pc:
+                assert_pair_equal(pc.compare(a, b), compare_trials(a, b))
+
+    def test_match_buckets_zero_disables_but_stays_exact(self):
+        rng = np.random.default_rng(515)
+        a, b = random_pair(rng, 200)
+        with ParallelComparator(jobs=1, shard_packets=31, match_buckets=0) as pc:
+            assert_pair_equal(pc.compare(a, b), compare_trials(a, b))
+
+    @pytest.mark.parametrize("jobs", JOB_COUNTS)
+    def test_match_trials_sharded_rows_exact(self, jobs):
+        """Direct matcher comparison: same rows, same order, any buckets."""
+        from repro.core.matching import match_trials
+        from repro.parallel import match_trials_sharded
+
+        rng = np.random.default_rng(9000 + jobs)
+        for _ in range(10):
+            n = int(rng.integers(30, 500))
+            # Negative tags exercise the unsigned-view bucketing.
+            tags = rng.integers(-50, max(2, n // 3), size=n).astype(np.int64)
+            a = make_trial(np.cumsum(rng.exponential(90.0, n)), tags)
+            keep = rng.random(n) > 0.1
+            bt = np.sort(np.cumsum(rng.exponential(90.0, n))[keep])
+            b = make_trial(bt, tags[keep])
+            want = match_trials(a, b)
+            for buckets in (None, 2, 5, 16):
+                got = match_trials_sharded(a, b, jobs=jobs, n_buckets=buckets)
+                assert np.array_equal(got.idx_a, want.idx_a)
+                assert np.array_equal(got.idx_b, want.idx_b)
+                assert (got.len_a, got.len_b) == (want.len_a, want.len_b)
+
+
 class TestSerialFastPath:
     def test_jobs_one_uses_serial_driver(self):
         """jobs=1 without a forced shard size is the serial code, verbatim."""

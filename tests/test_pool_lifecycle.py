@@ -1,0 +1,183 @@
+"""Lifecycle of the persistent, process-global worker pool.
+
+"Exactly one pool per invocation" is the perf contract that replaced the
+old pool-per-series churn; these tests make it a *tested property*:
+
+* lazy creation — importing, or running any serial path, creates nothing;
+* reuse — the simulation fan-out and the analysis engine draw from the
+  same executor within one invocation (``created_total`` moves by one);
+* teardown — ``pool_scope`` and the CLI drain the pool on normal exit
+  *and* on error paths (the leak the old per-comparator pools had);
+* failure containment — a raising worker task doesn't poison the pool,
+  and ``gather`` drains the rest of a failed batch before re-raising.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.cli as cli
+from repro.core import compare_series
+from repro.parallel import (
+    ParallelComparator,
+    compare_series_parallel,
+    get_pool,
+    pool_scope,
+    pool_stats,
+    shutdown_pool,
+)
+from repro.testbeds import Testbed, local_single_replayer
+
+from .test_parallel_differential import assert_series_equal
+
+PROFILE = local_single_replayer().at_duration(3e6)
+
+
+@pytest.fixture(autouse=True)
+def _clean_pool():
+    """Every test starts and ends with no live pool."""
+    shutdown_pool()
+    yield
+    shutdown_pool()
+
+
+def _boom(_arg):
+    raise RuntimeError("worker exploded")
+
+
+def _ok(x):
+    return x * 2
+
+
+class TestLaziness:
+    def test_no_pool_until_asked(self):
+        assert pool_stats().active is False
+
+    def test_serial_paths_never_create_a_pool(self):
+        before = pool_stats().created_total
+        trials = Testbed(PROFILE, seed=3).run_series(2, jobs=1)
+        compare_series(trials, environment=PROFILE.name)
+        with ParallelComparator(jobs=1) as pc:
+            pc.compare_series(trials, environment=PROFILE.name)
+        stats = pool_stats()
+        assert stats.active is False
+        assert stats.created_total == before
+
+    def test_get_pool_rejects_serial(self):
+        with pytest.raises(ValueError):
+            get_pool(1)
+
+
+class TestReuse:
+    def test_one_pool_spans_simulation_and_analysis(self):
+        """The full simulate+analyze pipeline creates exactly one pool."""
+        before = pool_stats().created_total
+        trials = Testbed(PROFILE, seed=3).run_series(3, jobs=2)
+        rep = compare_series_parallel(trials, environment=PROFILE.name, jobs=2)
+        stats = pool_stats()
+        assert stats.active is True
+        assert stats.jobs == 2
+        assert stats.created_total == before + 1
+        # And the shared-pool report is still the serial report, exactly.
+        want = compare_series(
+            Testbed(PROFILE, seed=3).run_series(3, jobs=1),
+            environment=PROFILE.name,
+        )
+        assert_series_equal(rep, want)
+
+    def test_same_executor_returned(self):
+        assert get_pool(2) is get_pool(2)
+        assert pool_stats().created_total == pool_stats().created_total
+
+    def test_resize_replaces_the_pool(self):
+        before = pool_stats().created_total
+        p2 = get_pool(2)
+        p3 = get_pool(3)
+        assert p3 is not p2
+        stats = pool_stats()
+        assert stats.jobs == 3
+        assert stats.created_total == before + 2
+
+
+class TestTeardown:
+    def test_shutdown_is_idempotent(self):
+        get_pool(2)
+        shutdown_pool()
+        assert pool_stats().active is False
+        shutdown_pool()  # second call: no-op, no error
+        assert pool_stats().active is False
+
+    def test_pool_scope_normal_exit(self):
+        with pool_scope():
+            get_pool(2)
+            assert pool_stats().active is True
+        assert pool_stats().active is False
+
+    def test_pool_scope_error_exit(self):
+        """An exception inside the scope still drains the pool."""
+        with pytest.raises(RuntimeError):
+            with pool_scope():
+                get_pool(2)
+                raise RuntimeError("mid-invocation failure")
+        assert pool_stats().active is False
+
+
+class TestCliOwnership:
+    def test_cli_error_path_tears_down(self, monkeypatch, capsys):
+        """A command that creates a pool then raises cannot leak it."""
+
+        def exploding_command(_args):
+            get_pool(2)
+            assert pool_stats().active is True
+            raise RuntimeError("command failed mid-pool")
+
+        monkeypatch.setitem(cli._COMMANDS, "scenarios", exploding_command)
+        with pytest.raises(RuntimeError):
+            cli.main(["scenarios"])
+        assert pool_stats().active is False
+
+    def test_cli_usage_error_path_tears_down(self, capsys):
+        """Early argument-validation exits run the teardown too."""
+        rc = cli.main(["simulate"])  # neither <scenario> nor --profile
+        assert rc == 2
+        assert pool_stats().active is False
+
+    def test_cli_success_creates_exactly_one_pool(self, monkeypatch, capsys):
+        """One --jobs invocation: exactly one pool, gone afterwards."""
+        created = []
+
+        def counting_command(args):
+            trials = Testbed(PROFILE, seed=1).run_series(2, jobs=2)
+            compare_series_parallel(trials, environment=PROFILE.name, jobs=2)
+            created.append(pool_stats().created_total)
+            return 0
+
+        monkeypatch.setitem(cli._COMMANDS, "scenarios", counting_command)
+        before = pool_stats().created_total
+        assert cli.main(["scenarios"]) == 0
+        assert created == [before + 1]
+        assert pool_stats().active is False
+
+
+class TestFailureContainment:
+    def test_worker_exception_does_not_poison_the_pool(self):
+        pool = get_pool(2)
+        with pytest.raises(RuntimeError, match="worker exploded"):
+            pool.submit(_boom, None).result()
+        # Same pool, still serving.
+        assert pool.submit(_ok, 21).result() == 42
+        assert pool_stats().jobs == 2
+
+    def test_gather_drains_failed_batches(self):
+        from repro.parallel import gather
+
+        pool = get_pool(2)
+        futures = [pool.submit(_boom, None)] + [
+            pool.submit(_ok, i) for i in range(8)
+        ]
+        with pytest.raises(RuntimeError, match="worker exploded"):
+            gather(futures)
+        # Every sibling is settled — nothing left running against
+        # resources the caller is about to release.
+        assert all(f.done() for f in futures)
+        assert pool.submit(_ok, 1).result() == 2

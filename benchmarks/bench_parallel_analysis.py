@@ -5,22 +5,40 @@ the Section-6.1 regime) serially and under increasing job counts, checks
 the parallel reports are *bit-identical* to serial, and emits the
 wall-time/speedup table to ``benchmarks/out/parallel_analysis.txt``.
 
+The ordering stage gets its own scaling table
+(``test_ordering_stage_scaling``): the prefix-patience sharded LIS
+(:mod:`repro.parallel.ordershard`) against the serial patience sort, plus
+the per-task granularity check behind the engine's schedule — one
+ordering block must be a *shorter* pool task than one timing shard, so
+ordering can never be the longest single task in the pair's fan-out.
+
 Honesty note: the speedup assertion (>= 2x at 4 jobs) only fires when the
 runner actually exposes >= 4 usable cores — on a 1-core container the
 measurement still runs and the exactness checks still bind, but physics
 caps the speedup at ~1x and asserting otherwise would only test the
-hardware.
+hardware.  The serial LIS extraction walk (~0.17 s at 1M rows) stays
+serial in both paths, so ordering-stage speedup saturates near 2x even
+with many cores; the point of the sharding is that the *patience loop*
+(the dominant term) parallelizes and the blocks overlap the timing
+shards.
+
+``REPRO_BENCH_SMOKE=1`` (CI) shrinks the pair to ~220k packets, skips
+the full engine sweep, and turns the ordering table into a regression
+gate: the sharded in-process ordering stage must stay within 10% of the
+serial stage's wall time.
 """
 
 import os
 import time
 
 import numpy as np
+import pytest
 
 from repro.core import compare_trials
 from repro.parallel import ParallelComparator
 
-N = 1_055_648  # the paper's Section-6.1 capture size
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+N = 221_000 if SMOKE else 1_055_648  # full: the paper's Section-6.1 capture size
 JOB_COUNTS = (1, 2, 4, 8)
 
 
@@ -48,6 +66,7 @@ def _assert_exact(got, want):
     assert np.array_equal(got.latency_hist.counts, want.latency_hist.counts)
 
 
+@pytest.mark.skipif(SMOKE, reason="full engine sweep is not part of smoke mode")
 def test_parallel_analysis_speedup(once, emit):
     a, b = _paper_scale_pair()
     usable_cores = len(os.sched_getaffinity(0))
@@ -87,4 +106,110 @@ def test_parallel_analysis_speedup(once, emit):
         assert by_name["jobs=4"] >= 2.0, (
             f"expected >= 2x speedup at 4 jobs on {usable_cores} cores, "
             f"got {by_name['jobs=4']:.2f}x"
+        )
+
+
+def _best_of(k, fn):
+    """Minimum wall time of k runs — the standard noise floor estimator."""
+    best = float("inf")
+    for _ in range(k):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_ordering_stage_scaling(once, emit):
+    """The sharded ordering stage: scaling table + task-granularity gate."""
+    from repro.core.matching import match_trials
+    from repro.core.ordering import edit_script_from_matching, b_order_ranks
+    from repro.parallel import (
+        DEFAULT_ORDER_BLOCK_PACKETS,
+        edit_script_from_matching_sharded,
+        patience_block,
+    )
+    from repro.parallel.partials import compute_shard_partial
+    from repro.core import SymlogBins
+
+    a, b = _paper_scale_pair()
+    usable_cores = len(os.sched_getaffinity(0))
+    m = match_trials(a, b)
+    seq = b_order_ranks(m)
+    shard_rows = -(-m.n_common // 4)  # one jobs=4 timing shard's row count
+    reps = 3 if SMOKE else 1  # smoke gates on a ratio: beat the noise down
+
+    def sweep():
+        want = edit_script_from_matching(m)  # warm
+        serial_s = _best_of(reps, lambda: edit_script_from_matching(m))
+
+        rows = [("serial", serial_s, 1.0)]
+        sharded_walls = {}
+        for jobs in JOB_COUNTS:
+            if jobs > 1 and SMOKE:
+                continue  # smoke: in-process gate only (CI runners vary)
+            got = edit_script_from_matching_sharded(m, jobs=jobs)  # warm pool
+            assert np.array_equal(got.lcs_mask_b_order, want.lcs_mask_b_order)
+            assert np.array_equal(got.moved_distances, want.moved_distances)
+            dt = _best_of(
+                reps, lambda j=jobs: edit_script_from_matching_sharded(m, jobs=j)
+            )
+            sharded_walls[jobs] = dt
+            rows.append((f"jobs={jobs}", dt, serial_s / dt))
+
+        # Task granularity: one ordering block vs one jobs=4 timing shard.
+        block_s = _best_of(
+            3, lambda: patience_block(seq, 0, DEFAULT_ORDER_BLOCK_PACKETS)
+        )
+        bins = SymlogBins()
+        shard_s = _best_of(
+            3,
+            lambda: compute_shard_partial(
+                a.times_ns, b.times_ns, m.idx_a, m.idx_b, 0, shard_rows, bins, 10.0
+            ),
+        )
+        return rows, sharded_walls, serial_s, block_s, shard_s
+
+    rows, sharded_walls, serial_s, block_s, shard_s = once(sweep)
+
+    lines = [
+        f"ordering stage (prefix-patience sharded LIS), n_common={m.n_common} "
+        f"({usable_cores} usable cores{', smoke' if SMOKE else ''})",
+        f"{'config':>8s}  {'seconds':>8s}  {'speedup':>7s}",
+    ]
+    for name, dt, speedup in rows:
+        lines.append(f"{name:>8s}  {dt:8.3f}  {speedup:6.2f}x")
+    lines.append("")
+    lines.append(
+        f"longest-task check: ordering block "
+        f"({DEFAULT_ORDER_BLOCK_PACKETS} rows) {block_s * 1e3:.2f} ms "
+        f"vs jobs=4 timing shard ({shard_rows} rows) {shard_s * 1e3:.2f} ms"
+    )
+    lines.append("sharded ordering verified bit-identical to serial")
+    emit("ordering_scaling", "\n".join(lines))
+
+    # The engine's schedule rests on this: an ordering block is a shorter
+    # pool task than a timing shard, so at jobs >= 4 the ordering stage is
+    # never the longest single task of the pair's fan-out.  Single-thread
+    # measurement — holds on any core count.  The claim is about the
+    # paper-scale pair (a smoke-sized pair's timing shards shrink with n
+    # while the block size is fixed), so it binds in full mode only; smoke
+    # still emits both numbers.
+    if not SMOKE:
+        assert block_s < shard_s, (
+            f"an ordering block ({block_s * 1e3:.2f} ms) must undercut a "
+            f"jobs=4 timing shard ({shard_s * 1e3:.2f} ms)"
+        )
+
+    # Regression gate (the CI smoke check): the in-process sharded path —
+    # identical block pipeline, no pool — must stay within 10% of serial.
+    overhead = sharded_walls[1] / serial_s
+    assert overhead <= 1.10, (
+        f"sharded ordering regressed: {overhead:.2f}x serial "
+        f"({sharded_walls[1]:.3f}s vs {serial_s:.3f}s)"
+    )
+
+    if usable_cores >= 4 and 4 in sharded_walls:
+        assert sharded_walls[4] < serial_s, (
+            f"expected ordering-stage speedup at 4 jobs on {usable_cores} "
+            f"cores, got {serial_s / sharded_walls[4]:.2f}x"
         )

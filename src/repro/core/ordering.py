@@ -44,15 +44,67 @@ from .trial import Trial
 __all__ = [
     "longest_increasing_subsequence",
     "lis_membership",
+    "patience_fill",
+    "lis_indices_from_state",
+    "b_order_ranks",
     "EditScript",
     "edit_script",
     "edit_script_from_matching",
+    "edit_script_from_keep",
     "move_distance_stats",
     "MoveDistanceStats",
     "ordering_from_matching",
     "ordering_variation",
     "naive_lcs_length",
 ]
+
+
+def patience_fill(
+    values: list,
+    tails_vals: list,
+    tails_idx: list[int],
+    prev_slice,
+    offset: int = 0,
+) -> None:
+    """Run the patience loop over ``values``, mutating the pile state.
+
+    This is *the* canonical update step — the serial driver, the shard
+    workers and the prefix-patience merge's replay fallback
+    (:mod:`repro.parallel.ordershard`) all execute this exact function, so
+    "parallel equals serial" reduces to an argument about *which* elements
+    each call sees, never about arithmetic.
+
+    ``values`` are the elements to process (Python scalars — ``tolist()``
+    beats an ndarray loop ~3x); ``tails_vals``/``tails_idx`` are the pile
+    state mutated in place (``tails_idx`` holds *global* element indices,
+    i.e. ``offset + i``); ``prev_slice[i]`` receives the global predecessor
+    index of element ``offset + i``, and keeps its prior value (the ``-1``
+    sentinel) for elements landing on pile 0.
+    """
+    for i, v in enumerate(values):
+        pos = bisect_left(tails_vals, v)
+        if pos > 0:
+            prev_slice[i] = tails_idx[pos - 1]
+        if pos == len(tails_vals):
+            tails_vals.append(v)
+            tails_idx.append(offset + i)
+        else:
+            tails_vals[pos] = v
+            tails_idx[pos] = offset + i
+
+
+def lis_indices_from_state(tails_idx: list[int], prev: np.ndarray) -> np.ndarray:
+    """Walk predecessor links back from the tail of the longest pile."""
+    length = len(tails_idx)
+    out = np.empty(length, dtype=np.intp)
+    if length == 0:
+        return out
+    prev_list = prev.tolist()  # list indexing: ~1.4x faster walk than ndarray
+    k = tails_idx[-1]
+    for j in range(length - 1, -1, -1):
+        out[j] = k
+        k = prev_list[k]
+    return out
 
 
 def longest_increasing_subsequence(seq: np.ndarray) -> np.ndarray:
@@ -67,28 +119,11 @@ def longest_increasing_subsequence(seq: np.ndarray) -> np.ndarray:
     n = seq.shape[0]
     if n == 0:
         return np.empty(0, dtype=np.intp)
-    values = seq.tolist()  # Python ints: ~3x faster bisect loop than ndarray
     tails_vals: list = []  # smallest tail value of an inc. run of each length
     tails_idx: list[int] = []  # index of that tail element in seq
     prev = np.full(n, -1, dtype=np.intp)  # predecessor links
-    for i, v in enumerate(values):
-        pos = bisect_left(tails_vals, v)
-        if pos > 0:
-            prev[i] = tails_idx[pos - 1]
-        if pos == len(tails_vals):
-            tails_vals.append(v)
-            tails_idx.append(i)
-        else:
-            tails_vals[pos] = v
-            tails_idx[pos] = i
-    # Walk predecessor links back from the tail of the longest run.
-    length = len(tails_idx)
-    out = np.empty(length, dtype=np.intp)
-    k = tails_idx[-1]
-    for j in range(length - 1, -1, -1):
-        out[j] = k
-        k = prev[k]
-    return out
+    patience_fill(seq.tolist(), tails_vals, tails_idx, prev)
+    return lis_indices_from_state(tails_idx, prev)
 
 
 def lis_membership(seq: np.ndarray) -> np.ndarray:
@@ -172,22 +207,29 @@ def edit_script(a: Trial, b: Trial, matching: Matching | None = None) -> EditScr
     return edit_script_from_matching(m)
 
 
-def edit_script_from_matching(m: Matching) -> EditScript:
-    """The minimum edit script from a precomputed matching alone.
+def b_order_ranks(m: Matching) -> np.ndarray:
+    """A-side ranks of the common packets listed in B order.
 
-    The script is a pure function of the matching (positions and trial
-    lengths); trials are not needed.  This is the entry point used by the
-    parallel engine, whose ordering worker receives only the matching index
-    arrays over shared memory.
+    The permutation whose LIS is the LCS (Schensted); the input the
+    patience sort runs on, both serially here and sharded in
+    :mod:`repro.parallel.ordershard`.
+    """
+    order_b = np.argsort(m.idx_b, kind="stable")
+    return order_b.astype(np.int64, copy=False)
+
+
+def edit_script_from_keep(
+    m: Matching, a_ranks_in_b: np.ndarray, keep: np.ndarray
+) -> EditScript:
+    """Assemble the edit script from the canonical LIS mask.
+
+    Pure vectorized assembly — every arithmetic op downstream of the mask
+    lives here, so any path that reproduces ``keep`` exactly (the serial
+    patience sort or the sharded prefix-patience merge) gets bit-identical
+    ``signed_distances``, ``moved_distances`` and ``O``.
     """
     n = m.n_common
-
-    # A-side ranks of common packets listed in B order; its LIS is the LCS.
-    order_b = np.argsort(m.idx_b, kind="stable")
-    a_ranks_in_b = order_b.astype(np.int64, copy=False)
     b_ranks = np.arange(n, dtype=np.int64)
-
-    keep = lis_membership(a_ranks_in_b)
     signed = np.where(keep, 0, a_ranks_in_b - b_ranks).astype(np.float64)
 
     all_b = np.ones(m.len_b, dtype=bool)
@@ -204,6 +246,18 @@ def edit_script_from_matching(m: Matching) -> EditScript:
         deletions_b=deletions_b,
         insertions_a=insertions_a,
     )
+
+
+def edit_script_from_matching(m: Matching) -> EditScript:
+    """The minimum edit script from a precomputed matching alone.
+
+    The script is a pure function of the matching (positions and trial
+    lengths); trials are not needed.  This is the entry point used by the
+    parallel engine, whose ordering worker receives only the matching index
+    arrays over shared memory.
+    """
+    a_ranks_in_b = b_order_ranks(m)
+    return edit_script_from_keep(m, a_ranks_in_b, lis_membership(a_ranks_in_b))
 
 
 @dataclass(frozen=True)

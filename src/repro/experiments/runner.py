@@ -8,8 +8,10 @@ n_runs, seed) so a full benchmark session simulates each environment once.
 Fan-out: ``run_scenario(..., jobs=N)`` (or ``REPRO_JOBS=N`` in the
 environment) parallelizes **both** stages on the shared worker pool — the
 simulation through :class:`repro.parallel.SimFarm` and the comparison
-through :func:`repro.parallel.compare_series_parallel` — and both are
-exactly equal to their serial paths, so figure and table reproductions are
+through :func:`repro.parallel.compare_series_parallel` (whose every
+stage shards, the global-LCS ordering metric included via the
+prefix-patience blocks of :mod:`repro.parallel.ordershard`) — and both
+are exactly equal to their serial paths, so figure and table reproductions are
 byte-stable under any job count.  The series cache is therefore keyed
 *without* the job count: trials simulated at any ``jobs`` are
 interchangeable bit-for-bit.

@@ -7,9 +7,10 @@ cost across many pairs.  This package fans the work out across cores while
 staying **bit-identical** to the serial path:
 
 * :class:`~repro.parallel.shard.ShardPlanner` — splits a matched pair's
-  common-packet rows into aligned, contiguous shards (L/I/U parallelize;
-  the global-LCS ordering metric O deliberately does not — it is scheduled
-  as one whole-pair task).
+  common-packet rows into aligned, contiguous shards (L/I/U parallelize
+  per row; the global-LCS ordering metric O parallelizes by prefix
+  blocks whose patience states a prefix-patience merge folds back into
+  the exact serial LIS — see :mod:`~repro.parallel.ordershard`).
 * :mod:`~repro.parallel.shm` — ``multiprocessing.shared_memory`` transport
   of the packet arrays; workers never pickle payloads.
 * :mod:`~repro.parallel.partials` — the merge/reduce algebra: exact
@@ -39,9 +40,26 @@ from .engine import (
     compare_trials_parallel,
 )
 from .matchshard import DEFAULT_MIN_MATCH_PACKETS, match_trials_sharded
+from .ordershard import (
+    PatienceBlock,
+    PatienceState,
+    edit_script_from_matching_sharded,
+    lis_mask_sharded,
+    mask_from_state,
+    merge_blocks,
+    patience_block,
+    plan_order_blocks,
+)
 from .partials import MergedTimings, ShardPartial, compute_shard_partial, merge_partials
 from .pool import PoolStats, gather, get_pool, pool_scope, pool_stats, shutdown_pool
-from .shard import DEFAULT_MIN_SHARD_PACKETS, ShardPlan, ShardPlanner, default_jobs
+from .shard import (
+    DEFAULT_MIN_ORDER_PACKETS,
+    DEFAULT_MIN_SHARD_PACKETS,
+    DEFAULT_ORDER_BLOCK_PACKETS,
+    ShardPlan,
+    ShardPlanner,
+    default_jobs,
+)
 from .shm import ArraySpec, ShmArena
 from .simfarm import SimFarm, run_series_parallel
 
@@ -52,6 +70,14 @@ __all__ = [
     "SimFarm",
     "run_series_parallel",
     "match_trials_sharded",
+    "edit_script_from_matching_sharded",
+    "lis_mask_sharded",
+    "patience_block",
+    "merge_blocks",
+    "mask_from_state",
+    "plan_order_blocks",
+    "PatienceBlock",
+    "PatienceState",
     "get_pool",
     "shutdown_pool",
     "pool_stats",
@@ -68,5 +94,7 @@ __all__ = [
     "ShmArena",
     "DEFAULT_MIN_SHARD_PACKETS",
     "DEFAULT_MIN_MATCH_PACKETS",
+    "DEFAULT_ORDER_BLOCK_PACKETS",
+    "DEFAULT_MIN_ORDER_PACKETS",
     "default_jobs",
 ]

@@ -9,11 +9,14 @@ Fan-out happens at two grains, chosen by the :class:`~.shard.ShardPlanner`:
   construction (it *is* the serial code).
 * **Within-pair shards** — the parent computes the matching once, then
   fans the common-packet rows out as contiguous shards; workers return
-  integer partials and write delta slices into shared output buffers; the
-  ordering metric (global LCS — not shardable, see
-  :mod:`repro.core.ordering`) runs as one extra task.  The merge assembles
-  the full delta arrays and runs the identical final reductions the batch
-  path runs (see :mod:`repro.parallel.partials` for the exactness model).
+  integer partials and write delta slices into shared output buffers.
+  The ordering metric's global LCS fans out too: patience blocks run as
+  their own pool tasks and a prefix-patience merge reconstructs the
+  exact serial LIS (see :mod:`repro.parallel.ordershard`), overlapping
+  the timing shards instead of gating them; small pairs keep the single
+  whole-pair ordering task.  The merge assembles the full delta arrays
+  and runs the identical final reductions the batch path runs (see
+  :mod:`repro.parallel.partials` for the exactness model).
 
 Either way the engine's reports are exactly equal — every float bit — to
 :func:`repro.core.report.compare_trials` / ``compare_series``; the
@@ -36,6 +39,8 @@ from ..core.latency import latency_from_deltas, latency_span_ns
 from ..core.matching import Matching, match_trials
 from ..core.ordering import (
     MoveDistanceStats,
+    b_order_ranks,
+    edit_script_from_keep,
     edit_script_from_matching,
     ordering_from_matching,
 )
@@ -43,9 +48,21 @@ from ..core.report import PairReport, RunSeriesReport, compare_trials
 from ..core.trial import Trial
 from ..core.uniqueness import uniqueness_from_matching
 from .matchshard import DEFAULT_MIN_MATCH_PACKETS, match_trials_sharded
+from .ordershard import (
+    _order_block_worker,
+    blocks_from_results,
+    mask_from_state,
+    merge_blocks,
+    order_block_tasks,
+)
 from .partials import compute_shard_partial, merge_partials
 from .pool import gather, get_pool
-from .shard import DEFAULT_MIN_SHARD_PACKETS, ShardPlanner, default_jobs
+from .shard import (
+    DEFAULT_MIN_ORDER_PACKETS,
+    DEFAULT_MIN_SHARD_PACKETS,
+    ShardPlanner,
+    default_jobs,
+)
 from .shm import ShmArena, attach_view, detach_all
 
 __all__ = [
@@ -148,6 +165,15 @@ class ParallelComparator:
         benchmarks; forces the sharded path even at ``jobs=1``).
     min_shard_packets:
         Smallest auto-sized shard worth a task dispatch.
+    order_block_packets:
+        Force ordering blocks to this many rows — the sharded-LIS path
+        (:mod:`repro.parallel.ordershard`) then runs even at ``jobs=1``
+        (tests pin exactness with it).  ``None`` auto-shards the ordering
+        metric when a pool is in use and the pair has at least
+        ``min_order_packets`` common rows; small pairs keep the single
+        whole-pair ordering task.
+    min_order_packets:
+        Smallest pair (common rows) worth sharding the ordering metric.
     within_ns:
         Bound for the headline ±IAT statistic (as in ``compare_trials``).
     match_buckets:
@@ -169,6 +195,8 @@ class ParallelComparator:
         *,
         shard_packets: int | None = None,
         min_shard_packets: int = DEFAULT_MIN_SHARD_PACKETS,
+        order_block_packets: int | None = None,
+        min_order_packets: int = DEFAULT_MIN_ORDER_PACKETS,
         within_ns: float = 10.0,
         match_buckets: int | None = None,
     ) -> None:
@@ -179,6 +207,8 @@ class ParallelComparator:
             raise ValueError("match_buckets must be None, 0, or >= 2")
         self.shard_packets = shard_packets
         self.min_shard_packets = min_shard_packets
+        self.order_block_packets = order_block_packets
+        self.min_order_packets = min_order_packets
         self.within_ns = within_ns
         self.match_buckets = match_buckets
 
@@ -214,6 +244,8 @@ class ParallelComparator:
             self.jobs,
             shard_packets=self.shard_packets,
             min_shard_packets=self.min_shard_packets,
+            order_block_packets=self.order_block_packets,
+            min_order_packets=self.min_order_packets,
         )
 
     # -- public API ------------------------------------------------------
@@ -221,7 +253,11 @@ class ParallelComparator:
         """Sharded :func:`repro.core.report.compare_trials` — exactly equal output."""
         bins = bins if bins is not None else SymlogBins()
         planner = self._planner()
-        if self.jobs == 1 and planner.shard_packets is None:
+        if (
+            self.jobs == 1
+            and planner.shard_packets is None
+            and planner.order_block_packets is None
+        ):
             return compare_trials(baseline, run, bins=bins, within_ns=self.within_ns)
         return self._compare_pair_sharded(baseline, run, bins, planner, slots=None)
 
@@ -250,7 +286,11 @@ class ParallelComparator:
             runs.append(run)
 
         planner = self._planner()
-        if self.jobs == 1 and planner.shard_packets is None:
+        if (
+            self.jobs == 1
+            and planner.shard_packets is None
+            and planner.order_block_packets is None
+        ):
             pairs = [
                 compare_trials(baseline, r, bins=bins, within_ns=self.within_ns)
                 for r in runs
@@ -295,6 +335,23 @@ class ParallelComparator:
                 futures.append(pool.submit(_whole_pair_worker, task))
             return gather(futures)
 
+    @staticmethod
+    def _merge_ordering(
+        m: Matching,
+        a_ranks_in_b: np.ndarray,
+        order_results,
+        prev_buf: np.ndarray,
+        tvals_buf: np.ndarray,
+        tidx_buf: np.ndarray,
+    ) -> tuple[float, MoveDistanceStats]:
+        """Fold block worker results into the pair's O and move stats."""
+        blocks = blocks_from_results(order_results, prev_buf, tvals_buf, tidx_buf)
+        state = merge_blocks(a_ranks_in_b, blocks)
+        keep = mask_from_state(state)
+        script = edit_script_from_keep(m, a_ranks_in_b, keep)
+        o_val = ordering_from_matching(m, script)
+        return o_val, MoveDistanceStats.from_distances(script.moved_distances)
+
     def _compare_pair_sharded(
         self,
         baseline: Trial,
@@ -303,9 +360,10 @@ class ParallelComparator:
         planner: ShardPlanner,
         slots: int | None,
     ) -> PairReport:
-        """Within-pair fan-out: timing shards + one ordering task, merged."""
+        """Within-pair fan-out: timing shards + sharded ordering, merged."""
         m = self._match(baseline, run)
         plan = planner.plan_pair(m.n_common, slots=slots)
+        order_plan = planner.plan_ordering(m.n_common)
         use_pool = self.jobs > 1
         with ShmArena(enabled=use_pool) as arena:
             idx_a = arena.share(m.idx_a)
@@ -315,12 +373,27 @@ class ParallelComparator:
             out_dlat, dlat_buf = arena.allocate(m.n_common)
             out_diat, diat_buf = arena.allocate(m.n_common)
 
-            ordering_task = {
-                "idx_a": idx_a,
-                "idx_b": idx_b,
-                "len_a": m.len_a,
-                "len_b": m.len_b,
-            }
+            if order_plan is None:
+                ordering_tasks = None
+                ordering_task = {
+                    "idx_a": idx_a,
+                    "idx_b": idx_b,
+                    "len_a": m.len_a,
+                    "len_b": m.len_b,
+                }
+            else:
+                # Sharded ordering: the parent derives the permutation the
+                # LIS runs on (vectorized argsort), block workers patience-
+                # sort their slices, and the prefix-patience merge below
+                # reconstructs the exact serial pile state.
+                a_ranks_in_b = b_order_ranks(m)
+                seq_spec = arena.share(a_ranks_in_b)
+                out_prev, prev_buf = arena.allocate(m.n_common, np.int64)
+                out_tvals, tvals_buf = arena.allocate(m.n_common, np.int64)
+                out_tidx, tidx_buf = arena.allocate(m.n_common, np.int64)
+                ordering_tasks = order_block_tasks(
+                    seq_spec, order_plan.bounds, out_prev, out_tvals, out_tidx
+                )
             shard_tasks = [
                 {
                     "times_a": times_a,
@@ -338,16 +411,47 @@ class ParallelComparator:
             ]
             if use_pool:
                 pool = get_pool(self.jobs)
-                # The ordering task is the long pole (global LCS); launch
-                # it first so it overlaps all the timing shards.
-                ordering_future = pool.submit(_ordering_worker, ordering_task)
+                # Ordering work is the long pole; launch it first so it
+                # overlaps all the timing shards.  With block tasks the
+                # parent additionally merges the ordering result while
+                # the timing shards are still running.
+                if ordering_tasks is None:
+                    ordering_futures = [pool.submit(_ordering_worker, ordering_task)]
+                else:
+                    ordering_futures = [
+                        pool.submit(_order_block_worker, t) for t in ordering_tasks
+                    ]
                 shard_futures = [
                     pool.submit(_timing_shard_worker, t) for t in shard_tasks
                 ]
-                results = gather([ordering_future] + shard_futures)
-                (o_val, move_stats), partials = results[0], results[1:]
+                try:
+                    order_results = gather(ordering_futures)
+                    if ordering_tasks is None:
+                        o_val, move_stats = order_results[0]
+                    else:
+                        o_val, move_stats = self._merge_ordering(
+                            m, a_ranks_in_b, order_results,
+                            prev_buf, tvals_buf, tidx_buf,
+                        )
+                except BaseException:
+                    # Drain the timing shards before the arena unlinks the
+                    # segments they are reading (gather only drains its
+                    # own batch).
+                    try:
+                        gather(shard_futures)
+                    except BaseException:
+                        pass
+                    raise
+                partials = gather(shard_futures)
             else:
-                o_val, move_stats = _ordering_worker(ordering_task)
+                if ordering_tasks is None:
+                    o_val, move_stats = _ordering_worker(ordering_task)
+                else:
+                    order_results = [_order_block_worker(t) for t in ordering_tasks]
+                    o_val, move_stats = self._merge_ordering(
+                        m, a_ranks_in_b, order_results,
+                        prev_buf, tvals_buf, tidx_buf,
+                    )
                 partials = [_timing_shard_worker(t) for t in shard_tasks]
 
             merged = merge_partials(
@@ -395,6 +499,7 @@ def compare_trials_parallel(
     *,
     jobs: int | None = None,
     shard_packets: int | None = None,
+    order_block_packets: int | None = None,
 ) -> PairReport:
     """One-shot parallel :func:`repro.core.report.compare_trials`.
 
@@ -402,7 +507,10 @@ def compare_trials_parallel(
     a long-lived :class:`ParallelComparator` when comparing many pairs.
     """
     with ParallelComparator(
-        jobs=jobs, shard_packets=shard_packets, within_ns=within_ns
+        jobs=jobs,
+        shard_packets=shard_packets,
+        order_block_packets=order_block_packets,
+        within_ns=within_ns,
     ) as pc:
         return pc.compare(baseline, run, bins=bins)
 
@@ -414,11 +522,15 @@ def compare_series_parallel(
     *,
     jobs: int | None = None,
     shard_packets: int | None = None,
+    order_block_packets: int | None = None,
 ) -> RunSeriesReport:
     """Drop-in for :func:`repro.core.report.compare_series` with fan-out.
 
-    Exactly equal output (every float bit) for any ``jobs`` and shard
-    size; ``jobs=None`` honors ``REPRO_JOBS`` and defaults to serial.
+    Exactly equal output (every float bit) for any ``jobs``, shard size
+    and ordering block size; ``jobs=None`` honors ``REPRO_JOBS`` and
+    defaults to serial.
     """
-    with ParallelComparator(jobs=jobs, shard_packets=shard_packets) as pc:
+    with ParallelComparator(
+        jobs=jobs, shard_packets=shard_packets, order_block_packets=order_block_packets
+    ) as pc:
         return pc.compare_series(trials, environment=environment, bins=bins)

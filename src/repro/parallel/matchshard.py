@@ -23,6 +23,13 @@ Workers read tag arrays from shared memory and write global ``(ia, ib)``
 rows into pre-offset slices of shared output buffers (per-bucket capacity
 ``min(|bucket in A|, |bucket in B|)``, an upper bound on common rows), so
 the only pickled traffic is a row count per bucket.
+
+Downstream, the matching's common rows feed both sharded stages of
+:meth:`~repro.parallel.engine.ParallelComparator._compare_pair_sharded`:
+the per-row timing shards and the ordering blocks of
+:mod:`repro.parallel.ordershard` — the B-order rank permutation the LIS
+runs on is ``argsort(idx_b)``, so bucket matching's bit-exact row order
+is what makes the sharded ordering input identical to serial's.
 """
 
 from __future__ import annotations

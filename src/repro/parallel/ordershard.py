@@ -1,0 +1,430 @@
+"""Sharded ordering metric: a prefix-patience LIS merge, bit-exact.
+
+The ordering metric ``O`` (Equation 2) is built from the canonical
+patience-sorting LIS of the B-order rank permutation
+(:mod:`repro.core.ordering`), and used to be the one remaining
+*whole-pair* serial task of the parallel engine: every other metric
+shards by row, but a single far-moved packet invalidates any chunk-local
+LCS bound, so the LIS ran as one long pool task gating the pair's wall
+time.
+
+This module breaks that task up while reproducing the serial algorithm's
+output *exactly* — the same canonical LIS mask, element for element, at
+any job count and block size.  The construction:
+
+**Workers** split the permutation into contiguous blocks ``[lo, hi)`` and
+run the identical patience loop (:func:`repro.core.ordering.patience_fill`)
+on their block in isolation, producing a *local* pile state: tail values,
+tail element indices (already globalized to ``lo + i``), per-element
+predecessor links (``-1`` for elements that landed on local pile 0), and
+the block's value extrema.
+
+**The merge** folds blocks left to right into the accumulated prefix
+state — by construction *the* serial state after ``lo`` elements — with
+one of two moves per block:
+
+* **Splice** — applicable when the block's value interval nests into a
+  single gap of the accumulated tails array ``T``: with
+  ``c = bisect_left(T, vmin)``, when ``c == len(T)`` or ``vmax <= T[c]``.
+  Then replaying the block's elements one by one against the accumulated
+  state provably touches only piles ``c .. c + L_local``: every element
+  ``v`` satisfies ``T[c-1] < v`` (so its pile index is at least ``c``,
+  and piles below ``c`` are never modified) and ``v <= T[c] <= T[c+s]``
+  (so the first untouched accumulated tail always stops the bisect at
+  exactly ``c`` plus the block-local position).  Element ``lo + i``
+  therefore lands on pile ``c + pos_local(i)``; its predecessor is the
+  block-local predecessor when ``pos_local > 0`` (that pile was already
+  overwritten by a block element) and the *fixed* accumulated tail
+  ``T_idx[c - 1]`` when ``pos_local == 0`` (piles below ``c`` never move
+  during the block).  The whole replay collapses to O(L_local) array
+  splices: ``T[c : c + L_local] = local tails``, same for ``T_idx``, and
+  a vectorized predecessor fix-up of the ``-1`` sentinels.
+* **Replay** — otherwise the merge falls back to running
+  :func:`~repro.core.ordering.patience_fill` over the block's raw
+  elements against the accumulated state, which *is* the serial
+  algorithm on those elements.  Exact by identity; costs serial time for
+  that block only.  The replay runs against the tails *suffix* from pile
+  ``c`` up (``c = bisect_left(T, vmin)``): every element's pile index is
+  at least ``c`` (its value exceeds ``T[c-1]``), so lower piles are
+  read-only and only appear as the fixed predecessor of elements landing
+  on global pile ``c`` — the same ``-1``-sentinel fix-up the splice move
+  applies.
+
+Either move establishes the invariant "accumulated state == serial state
+over the processed prefix", so by induction the final tails/predecessor
+state — and the LIS mask walked out of it — is bit-identical to
+:func:`repro.core.ordering.lis_membership`.  The tie-break rule that
+makes this work is the canonical one the serial code already uses:
+``bisect_left`` places equal values on the *same* pile (strict LIS) and
+the most recent element on a pile is its tail, so "which LIS" is pinned
+by pile positions plus most-recent-predecessor links — both of which the
+merge reproduces exactly.
+
+Near-sorted permutations (the paper's regime: light jitter, rare
+reorders) splice almost every block — only blocks whose values straddle
+an earlier block's range pay the replay — so the patience work genuinely
+parallelizes; adversarial permutations (reversed, organ-pipe descents)
+degrade gracefully to serial-speed replay while staying exact, which is
+what the corpus suite (`tests/test_ordershard_corpus.py`) pins.
+
+Transport mirrors the rest of the engine: workers read the permutation
+from shared memory and write predecessor links and pile tails into
+pre-offset slices of shared output buffers; only ``(lo, hi, length,
+vmin, vmax)`` scalars cross the pickle boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.matching import Matching
+from ..core.ordering import (
+    EditScript,
+    b_order_ranks,
+    edit_script_from_keep,
+    lis_indices_from_state,
+    patience_fill,
+)
+from .pool import gather, get_pool
+from .shard import (
+    DEFAULT_MIN_ORDER_PACKETS,
+    DEFAULT_ORDER_BLOCK_PACKETS,
+    ShardPlan,
+    default_jobs,
+)
+from .shm import ShmArena, attach_view, detach_all
+
+__all__ = [
+    "PatienceBlock",
+    "PatienceState",
+    "patience_block",
+    "merge_blocks",
+    "mask_from_state",
+    "plan_order_blocks",
+    "lis_mask_sharded",
+    "edit_script_from_matching_sharded",
+    "DEFAULT_ORDER_BLOCK_PACKETS",
+    "DEFAULT_MIN_ORDER_PACKETS",
+]
+
+
+@dataclass(frozen=True)
+class PatienceBlock:
+    """One block's local patience state over rows ``[lo, hi)``.
+
+    ``tails_vals``/``tails_idx`` are the block-local pile tails
+    (``tails_idx`` in *global* element indices); ``prev`` covers the
+    block's elements with global predecessor links, ``-1`` marking
+    elements that landed on local pile 0 (their true predecessor, if any,
+    is resolved by the merge).  ``vmin``/``vmax`` are the block's value
+    extrema — the splice-eligibility test needs the true extrema, not the
+    tails (a non-tail maximum can still collide with an accumulated
+    pile).
+    """
+
+    lo: int
+    hi: int
+    tails_vals: np.ndarray
+    tails_idx: np.ndarray
+    prev: np.ndarray
+    vmin: int
+    vmax: int
+
+    @property
+    def length(self) -> int:
+        """Local LIS length (number of local piles)."""
+        return int(self.tails_vals.shape[0])
+
+
+@dataclass
+class PatienceState:
+    """The accumulated prefix-patience state over rows ``[0, hi)``.
+
+    Invariant (the merge's whole contract): ``tails_vals[:tlen]``,
+    ``tails_idx[:tlen]`` and ``prev[:hi]`` equal — element for element —
+    the state the serial patience loop holds after processing the first
+    ``hi`` elements of the permutation.  The tails live in preallocated
+    capacity-``n`` arrays (a pile count never exceeds the element count)
+    so the splice move is a pure array copy; ``spliced``/``replayed``
+    count the merge moves taken — observability only, never influencing
+    results.
+    """
+
+    n: int
+    hi: int = 0
+    tlen: int = 0
+    tails_vals: np.ndarray | None = None
+    tails_idx: np.ndarray | None = None
+    prev: np.ndarray | None = None
+    spliced: int = 0
+    replayed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tails_vals is None:
+            self.tails_vals = np.empty(self.n, dtype=np.int64)
+        if self.tails_idx is None:
+            self.tails_idx = np.empty(self.n, dtype=np.int64)
+        if self.prev is None:
+            self.prev = np.full(self.n, -1, dtype=np.intp)
+
+    def copy(self) -> "PatienceState":
+        """An independent snapshot (for reassociated merges in tests)."""
+        return PatienceState(
+            n=self.n,
+            hi=self.hi,
+            tlen=self.tlen,
+            tails_vals=self.tails_vals.copy(),
+            tails_idx=self.tails_idx.copy(),
+            prev=self.prev.copy(),
+            spliced=self.spliced,
+            replayed=self.replayed,
+        )
+
+
+def patience_block(seq: np.ndarray, lo: int, hi: int) -> PatienceBlock:
+    """Run the canonical patience loop over ``seq[lo:hi]`` in isolation."""
+    seg = np.asarray(seq)[lo:hi]
+    n_local = seg.shape[0]
+    if n_local == 0:
+        raise ValueError("ordering blocks must be non-empty")
+    tails_vals: list = []
+    tails_idx: list[int] = []
+    prev = np.full(n_local, -1, dtype=np.intp)
+    patience_fill(seg.tolist(), tails_vals, tails_idx, prev, offset=lo)
+    return PatienceBlock(
+        lo=int(lo),
+        hi=int(hi),
+        tails_vals=np.asarray(tails_vals, dtype=np.int64),
+        tails_idx=np.asarray(tails_idx, dtype=np.int64),
+        prev=prev,
+        vmin=int(seg.min()),
+        vmax=int(seg.max()),
+    )
+
+
+def merge_blocks(
+    seq: np.ndarray,
+    blocks: list[PatienceBlock],
+    state: PatienceState | None = None,
+) -> PatienceState:
+    """Fold block states left-to-right into the serial prefix state.
+
+    ``blocks`` must tile ``[state.hi, hi_last)`` contiguously in order
+    (any granularity).  ``state=None`` starts from the empty prefix; a
+    given ``state`` is not mutated — the merge continues from an
+    independent copy, so prefix-merges can be reused and reassociated
+    (the property suite leans on this).  ``seq`` is the *full*
+    permutation; it is only read on the replay fallback.
+    """
+    seq = np.asarray(seq)
+    st = PatienceState(n=seq.shape[0]) if state is None else state.copy()
+    tails_vals, tails_idx, prev = st.tails_vals, st.tails_idx, st.prev
+    for blk in blocks:
+        if blk.lo != st.hi:
+            raise ValueError(
+                f"blocks must tile the prefix contiguously: expected a block "
+                f"at row {st.hi}, got [{blk.lo}, {blk.hi})"
+            )
+        tlen = st.tlen
+        # searchsorted(side="left") == bisect_left, on the valid prefix.
+        c = int(np.searchsorted(tails_vals[:tlen], blk.vmin, side="left"))
+        if c == tlen or blk.vmax <= tails_vals[c]:
+            # Splice: the block's replay provably stays inside the pile
+            # gap at c (see module docstring), so its local state drops
+            # in as a pure array copy.  Piles at and above c + length
+            # keep their tails — no block element can reach them.
+            length = blk.length
+            tails_vals[c : c + length] = blk.tails_vals
+            tails_idx[c : c + length] = blk.tails_idx
+            block_prev = blk.prev
+            if c > 0:
+                # Local pile-0 elements extend the fixed accumulated pile
+                # c-1; its tail cannot move while this block replays.
+                block_prev = np.where(blk.prev == -1, tails_idx[c - 1], blk.prev)
+            prev[blk.lo : blk.hi] = block_prev
+            st.tlen = max(tlen, c + length)
+            st.spliced += 1
+        else:
+            # Replay — but only against the tails suffix the block can
+            # touch: every element's value is >= vmin > tails_vals[c-1],
+            # so its pile index is at least c and piles below c are
+            # read-only.  Running the canonical loop on the suffix is the
+            # serial algorithm with pile indices shifted by c; elements
+            # landing on suffix pile 0 (global pile c) keep the -1
+            # sentinel and get the fixed pile-(c-1) tail as predecessor,
+            # exactly as in the splice move.
+            sub_vals = tails_vals[c:tlen].tolist()
+            sub_idx = tails_idx[c:tlen].tolist()
+            prev_slice = prev[blk.lo : blk.hi]
+            patience_fill(
+                seq[blk.lo : blk.hi].tolist(),
+                sub_vals,
+                sub_idx,
+                prev_slice,
+                offset=blk.lo,
+            )
+            if c > 0:
+                np.copyto(prev_slice, tails_idx[c - 1], where=prev_slice == -1)
+            new_len = len(sub_vals)  # patience never shrinks the pile count
+            tails_vals[c : c + new_len] = sub_vals
+            tails_idx[c : c + new_len] = sub_idx
+            st.tlen = c + new_len
+            st.replayed += 1
+        st.hi = blk.hi
+    return st
+
+
+def mask_from_state(st: PatienceState) -> np.ndarray:
+    """The canonical LIS membership mask walked out of a merged state.
+
+    Identical to :func:`repro.core.ordering.lis_membership` on the full
+    sequence: the walk starts at the tail of the longest pile and follows
+    the same predecessor links the serial loop would have recorded.
+    """
+    if st.hi != st.n:
+        raise ValueError(f"state covers [0, {st.hi}) but the sequence has {st.n}")
+    mask = np.zeros(st.n, dtype=bool)
+    mask[lis_indices_from_state(st.tails_idx[: st.tlen], st.prev)] = True
+    return mask
+
+
+def plan_order_blocks(
+    n: int, block_packets: int | None = None
+) -> tuple[tuple[int, int], ...]:
+    """Contiguous ordering-block bounds tiling ``[0, n)``."""
+    if n == 0:
+        return ()
+    step = DEFAULT_ORDER_BLOCK_PACKETS if block_packets is None else int(block_packets)
+    if step < 1:
+        raise ValueError("block_packets must be >= 1")
+    return ShardPlan(
+        n, tuple((lo, min(lo + step, n)) for lo in range(0, n, step))
+    ).bounds
+
+
+# ----------------------------------------------------------------------
+# Pool transport: the worker body and its task/collect helpers.
+# ----------------------------------------------------------------------
+
+def _order_block_worker(task: dict):
+    """Compute one block's patience state; write it at the block offsets.
+
+    Predecessor links land in ``out_prev[lo:hi]``; pile tails (values and
+    global indices) in ``out_tvals``/``out_tidx`` at ``[lo, lo + L)`` —
+    a block's pile count never exceeds its row count, so the block's own
+    row range is always capacity enough.  Only scalars are returned.
+    """
+    attachments: dict = {}
+    try:
+        seq = attach_view(task["seq"], attachments)
+        out_prev = attach_view(task["out_prev"], attachments)
+        out_tvals = attach_view(task["out_tvals"], attachments)
+        out_tidx = attach_view(task["out_tidx"], attachments)
+        lo, hi = task["lo"], task["hi"]
+        blk = patience_block(seq, lo, hi)
+        length = blk.length
+        out_prev[lo:hi] = blk.prev
+        out_tvals[lo : lo + length] = blk.tails_vals
+        out_tidx[lo : lo + length] = blk.tails_idx
+        return lo, hi, length, blk.vmin, blk.vmax
+    finally:
+        detach_all(attachments)
+
+
+def order_block_tasks(
+    seq_spec, bounds, out_prev, out_tvals, out_tidx
+) -> list[dict]:
+    """Worker task dicts for every ordering block of a pair."""
+    return [
+        {
+            "seq": seq_spec,
+            "out_prev": out_prev,
+            "out_tvals": out_tvals,
+            "out_tidx": out_tidx,
+            "lo": lo,
+            "hi": hi,
+        }
+        for lo, hi in bounds
+    ]
+
+
+def blocks_from_results(
+    results, prev_buf: np.ndarray, tvals_buf: np.ndarray, tidx_buf: np.ndarray
+) -> list[PatienceBlock]:
+    """Reconstitute ordered :class:`PatienceBlock` views from worker returns.
+
+    The arrays are zero-copy views into the shared output buffers, so the
+    merge must finish before the owning arena closes.
+    """
+    blocks = []
+    for lo, hi, length, vmin, vmax in sorted(results):
+        blocks.append(
+            PatienceBlock(
+                lo=lo,
+                hi=hi,
+                tails_vals=tvals_buf[lo : lo + length],
+                tails_idx=tidx_buf[lo : lo + length],
+                prev=prev_buf[lo:hi],
+                vmin=vmin,
+                vmax=vmax,
+            )
+        )
+    return blocks
+
+
+def lis_mask_sharded(
+    seq: np.ndarray,
+    *,
+    jobs: int | None = None,
+    block_packets: int | None = None,
+) -> np.ndarray:
+    """Block-parallel :func:`repro.core.ordering.lis_membership` — exact.
+
+    ``jobs=None`` honors ``REPRO_JOBS``; at ``jobs=1`` the identical
+    block pipeline (workers, buffers, merge) runs in-process with inline
+    specs, so tests can pin sharded == serial without a pool.
+    """
+    seq = np.ascontiguousarray(np.asarray(seq, dtype=np.int64))
+    jobs = default_jobs() if jobs is None else int(jobs)
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    n = seq.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    bounds = plan_order_blocks(n, block_packets)
+    use_pool = jobs > 1
+    with ShmArena(enabled=use_pool) as arena:
+        seq_spec = arena.share(seq)
+        out_prev, prev_buf = arena.allocate(n, np.int64)
+        out_tvals, tvals_buf = arena.allocate(n, np.int64)
+        out_tidx, tidx_buf = arena.allocate(n, np.int64)
+        tasks = order_block_tasks(seq_spec, bounds, out_prev, out_tvals, out_tidx)
+        if use_pool:
+            pool = get_pool(jobs)
+            results = gather([pool.submit(_order_block_worker, t) for t in tasks])
+        else:
+            results = [_order_block_worker(t) for t in tasks]
+        blocks = blocks_from_results(results, prev_buf, tvals_buf, tidx_buf)
+        state = merge_blocks(seq, blocks)
+        return mask_from_state(state)
+
+
+def edit_script_from_matching_sharded(
+    m: Matching,
+    *,
+    jobs: int | None = None,
+    block_packets: int | None = None,
+) -> EditScript:
+    """Block-parallel :func:`repro.core.ordering.edit_script_from_matching`.
+
+    Every field — ``lcs_mask_b_order``, ``signed_distances``,
+    ``deletions_b``, ``insertions_a`` and the derived ``moved_distances``
+    and ``O`` — is bit-identical to the serial script: the sharded path
+    reproduces the canonical LIS mask exactly and then runs the identical
+    vectorized assembly (:func:`~repro.core.ordering.edit_script_from_keep`).
+    """
+    a_ranks_in_b = b_order_ranks(m)
+    keep = lis_mask_sharded(a_ranks_in_b, jobs=jobs, block_packets=block_packets)
+    return edit_script_from_keep(m, a_ranks_in_b, keep)

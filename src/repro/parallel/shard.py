@@ -15,10 +15,14 @@ What is and is not shardable:
 * ``U`` — shardable: it is a function of the row count and the trial
   lengths; each shard contributes ``hi − lo`` rows.
 * ``L``, ``I`` — shardable: per-row deltas, reduced once after assembly.
-* ``O`` — **not** shardable: the LCS underlying Equation 2 is a global
-  property of the permutation (see :mod:`repro.core.ordering`); a single
-  far-moved packet invalidates any chunk-local bound.  The planner
-  therefore always schedules ordering as one whole-pair task.
+* ``O`` — shardable *by prefix blocks, not by chunk-local metrics*: the
+  LCS underlying Equation 2 is a global property of the permutation (a
+  single far-moved packet invalidates any chunk-local bound), so blocks
+  carry mergeable patience-pile states instead of partial metrics and a
+  left-to-right prefix-patience merge reconstructs the exact serial LIS
+  (see :mod:`repro.parallel.ordershard`).  :meth:`ShardPlanner.plan_ordering`
+  sizes those blocks; for small pairs it falls back to one whole-pair
+  ordering task.
 
 The planner also decides the fan-out *shape* for a run series: when there
 are at least as many trial pairs as workers, whole-pair tasks (each worker
@@ -32,11 +36,28 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
-__all__ = ["ShardPlan", "ShardPlanner", "DEFAULT_MIN_SHARD_PACKETS", "default_jobs"]
+__all__ = [
+    "ShardPlan",
+    "ShardPlanner",
+    "DEFAULT_MIN_SHARD_PACKETS",
+    "DEFAULT_ORDER_BLOCK_PACKETS",
+    "DEFAULT_MIN_ORDER_PACKETS",
+    "default_jobs",
+]
 
 #: Below this many common rows a shard is not worth a task dispatch; the
 #: default matches the chunk size of :func:`repro.analysis.streaming.stream_compare`.
 DEFAULT_MIN_SHARD_PACKETS = 65536
+
+#: Auto-sized ordering block: small enough that one block's patience loop
+#: (~0.6 us/element) stays below one timing shard's vectorized pass even
+#: at jobs=8 on the paper-scale pair, so ordering is never the longest
+#: single pool task; large enough to amortize task dispatch.
+DEFAULT_ORDER_BLOCK_PACKETS = 8192
+
+#: Below this many common rows the whole-pair ordering task wins — block
+#: dispatch plus merge bookkeeping cost more than the loop they split.
+DEFAULT_MIN_ORDER_PACKETS = 65536
 
 
 @dataclass(frozen=True)
@@ -85,6 +106,13 @@ class ShardPlanner:
         ``min_shard_packets`` rows each.
     min_shard_packets:
         Smallest shard worth a task dispatch when auto-sizing.
+    order_block_packets:
+        Force ordering blocks to this many rows (tests and benchmarks;
+        forces the sharded-ordering path even at ``jobs=1``).  ``None``
+        auto-sizes to ``DEFAULT_ORDER_BLOCK_PACKETS`` when a pool is in
+        use and the pair is big enough to repay block dispatch.
+    min_order_packets:
+        Smallest pair (common rows) worth sharding the ordering metric.
     """
 
     def __init__(
@@ -93,6 +121,8 @@ class ShardPlanner:
         *,
         shard_packets: int | None = None,
         min_shard_packets: int = DEFAULT_MIN_SHARD_PACKETS,
+        order_block_packets: int | None = None,
+        min_order_packets: int = DEFAULT_MIN_ORDER_PACKETS,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -100,9 +130,15 @@ class ShardPlanner:
             raise ValueError("shard_packets must be >= 1")
         if min_shard_packets < 1:
             raise ValueError("min_shard_packets must be >= 1")
+        if order_block_packets is not None and order_block_packets < 1:
+            raise ValueError("order_block_packets must be >= 1")
+        if min_order_packets < 1:
+            raise ValueError("min_order_packets must be >= 1")
         self.jobs = jobs
         self.shard_packets = shard_packets
         self.min_shard_packets = min_shard_packets
+        self.order_block_packets = order_block_packets
+        self.min_order_packets = min_order_packets
 
     def plan_pair(self, n_common: int, slots: int | None = None) -> ShardPlan:
         """Partition one pair's ``n_common`` rows into shards.
@@ -124,15 +160,38 @@ class ShardPlanner:
         )
         return ShardPlan(n_common, bounds)
 
+    def plan_ordering(self, n_common: int) -> ShardPlan | None:
+        """Ordering-block bounds for one pair, or ``None`` for whole-pair.
+
+        ``None`` means the ordering metric should run as a single
+        whole-pair task (small pair, or serial without a forced block
+        size); otherwise the returned plan tiles ``[0, n_common)`` into
+        the blocks the prefix-patience merge consumes
+        (:mod:`repro.parallel.ordershard`).
+        """
+        if n_common == 0:
+            return None
+        if self.order_block_packets is not None:
+            step = self.order_block_packets
+        elif self.jobs > 1 and n_common >= self.min_order_packets:
+            step = DEFAULT_ORDER_BLOCK_PACKETS
+        else:
+            return None
+        bounds = tuple(
+            (lo, min(lo + step, n_common)) for lo in range(0, n_common, step)
+        )
+        return ShardPlan(n_common, bounds)
+
     def use_whole_pairs(self, n_pairs: int) -> bool:
         """Whether a series should fan out whole pairs rather than shards.
 
         With at least one pair per worker, pair-level tasks keep every
         worker busy with zero merge overhead; otherwise within-pair shards
         are needed to occupy the idle workers.  A forced ``shard_packets``
-        always shards (the caller asked for that shape explicitly).
+        or ``order_block_packets`` always shards (the caller asked for
+        that shape explicitly).
         """
-        if self.shard_packets is not None:
+        if self.shard_packets is not None or self.order_block_packets is not None:
             return False
         return n_pairs >= self.jobs
 

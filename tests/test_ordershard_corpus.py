@@ -1,0 +1,246 @@
+"""Adversarial corpus for the sharded ordering metric (prefix-patience LIS).
+
+Every case is checked three ways, all exact:
+
+* the serial canonical mask (:func:`repro.core.ordering.lis_membership`)
+  is reproduced element-for-element by :func:`~repro.parallel.lis_mask_sharded`
+  at every job count and block size exercised;
+* the mask's popcount equals the textbook ``O(n·m)`` DP LCS length
+  (:func:`repro.core.ordering.naive_lcs_length` against the sorted unique
+  values — for strict LIS with duplicates, ``LIS(s) == LCS(unique(s), s)``);
+* the mask marks a genuinely strictly-increasing subsequence.
+
+The corpus is the permutations that stress the merge's two moves: splice
+(sorted, reversed, rotations — value intervals nest into tail gaps) and
+replay (organ-pipe, interleaved runs — values straddle earlier blocks),
+plus duplicate-heavy streams that stress the ``bisect_left`` tie-break
+the canonical mask is defined by.
+
+``REPRO_DIFF_JOBS`` restricts the job counts (CI splits the matrix);
+``REPRO_TEST_SEED`` drives the randomized duplicate streams.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.matching import match_trials
+from repro.core.ordering import (
+    b_order_ranks,
+    edit_script_from_matching,
+    lis_membership,
+    naive_lcs_length,
+)
+from repro.parallel import (
+    edit_script_from_matching_sharded,
+    lis_mask_sharded,
+    mask_from_state,
+    merge_blocks,
+    patience_block,
+    plan_order_blocks,
+)
+
+from .conftest import make_trial, suite_rng
+
+
+def _job_counts() -> list[int]:
+    raw = os.environ.get("REPRO_DIFF_JOBS", "1,2,4,8")
+    return [int(tok) for tok in raw.split(",") if tok.strip()]
+
+
+JOB_COUNTS = _job_counts()
+
+
+def _organ_pipe(n: int) -> np.ndarray:
+    up = np.arange((n + 1) // 2)
+    return np.concatenate([up, up[::-1][: n - up.shape[0]]])
+
+
+def _interleaved_runs(n: int) -> np.ndarray:
+    """Two value-disjoint increasing runs interleaved element-wise.
+
+    ``[0, m, 1, m+1, 2, ...]`` — every contiguous block straddles both
+    value ranges, so no block's interval nests into one tail gap and the
+    merge must take its replay path.
+    """
+    m = (n + 1) // 2
+    out = np.empty(n, dtype=np.int64)
+    out[0::2] = np.arange(m)[: out[0::2].shape[0]]
+    out[1::2] = np.arange(m, 2 * m)[: out[1::2].shape[0]]
+    return out
+
+
+def _dup_stream(n: int, alphabet: int, salt: int) -> np.ndarray:
+    return suite_rng(salt).integers(0, alphabet, size=n).astype(np.int64)
+
+
+#: Pinned worst cases.  Sizes are deliberately small enough for the DP
+#: cross-check but large enough that every block size below creates
+#: multi-block merges.
+CORPUS: dict[str, np.ndarray] = {
+    "sorted": np.arange(144, dtype=np.int64),
+    "reversed": np.arange(144, dtype=np.int64)[::-1].copy(),
+    "organ-pipe": _organ_pipe(143).astype(np.int64),
+    "valley": _organ_pipe(143)[::-1].copy().astype(np.int64),
+    "block-rotation": np.roll(np.arange(150, dtype=np.int64), 50),
+    "block-swap": np.concatenate(
+        [np.arange(70, 140), np.arange(0, 70)]
+    ).astype(np.int64),
+    "interleaved-runs": _interleaved_runs(141),
+    "far-moved-packet": np.concatenate(
+        [[137], np.arange(137), [138, 139]]
+    ).astype(np.int64),
+    "duplicate-heavy": _dup_stream(140, 7, salt=101),
+    "binary-tags": _dup_stream(150, 2, salt=102),
+    "all-equal": np.zeros(130, dtype=np.int64),
+}
+
+
+def _block_sizes(n: int) -> list[int]:
+    """The ISSUE grid: 1, 2, a prime, n−1, n."""
+    return sorted({1, 2, 13, max(1, n - 1), n})
+
+
+def _check_mask(seq: np.ndarray, mask: np.ndarray) -> None:
+    """Structural sanity: the mask marks a strictly increasing subsequence."""
+    picked = seq[mask]
+    assert np.all(np.diff(picked) > 0)
+
+
+class TestCorpusSerialReference:
+    """The serial canonical mask itself is pinned against the DP."""
+
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    def test_serial_mask_matches_dp_length(self, name):
+        seq = CORPUS[name]
+        mask = lis_membership(seq)
+        _check_mask(seq, mask)
+        want_len = naive_lcs_length(np.unique(seq), seq)
+        assert int(mask.sum()) == want_len
+
+
+class TestCorpusShardedExact:
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    def test_all_block_sizes_in_process(self, name):
+        """jobs=1 (inline specs, same worker code): every block size exact."""
+        seq = CORPUS[name]
+        want = lis_membership(seq)
+        want_len = naive_lcs_length(np.unique(seq), seq)
+        for bp in _block_sizes(seq.shape[0]):
+            got = lis_mask_sharded(seq, jobs=1, block_packets=bp)
+            assert np.array_equal(got, want), (name, bp)
+            assert int(got.sum()) == want_len
+            _check_mask(seq, got)
+
+    @pytest.mark.parametrize("jobs", [j for j in JOB_COUNTS if j > 1] or [2])
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    def test_pooled_block_sizes_exact(self, name, jobs):
+        """Through a live pool: the grid's block sizes stay exact."""
+        seq = CORPUS[name]
+        want = lis_membership(seq)
+        for bp in _block_sizes(seq.shape[0]):
+            got = lis_mask_sharded(seq, jobs=jobs, block_packets=bp)
+            assert np.array_equal(got, want), (name, bp, jobs)
+
+
+class TestMergeMoves:
+    """Pin which merge move fires — observability, and a regression guard
+    for the splice condition (the exactness proof's load-bearing branch)."""
+
+    def _merged(self, seq, bp):
+        bounds = plan_order_blocks(seq.shape[0], bp)
+        blocks = [patience_block(seq, lo, hi) for lo, hi in bounds]
+        return merge_blocks(seq, blocks), len(bounds)
+
+    def test_sorted_splices_every_block(self):
+        seq = CORPUS["sorted"]
+        st, n_blocks = self._merged(seq, 12)
+        assert (st.spliced, st.replayed) == (n_blocks, 0)
+
+    def test_reversed_splices_every_block(self):
+        """Descending blocks nest below the accumulated minimum (c == 0)."""
+        seq = CORPUS["reversed"]
+        st, n_blocks = self._merged(seq, 12)
+        assert (st.spliced, st.replayed) == (n_blocks, 0)
+
+    def test_interleaved_runs_replay(self):
+        """Blocks straddling earlier value ranges must take the replay path."""
+        seq = CORPUS["interleaved-runs"]
+        st, _ = self._merged(seq, 12)
+        assert st.replayed > 0
+        assert np.array_equal(mask_from_state(st), lis_membership(seq))
+
+    def test_single_block_is_serial(self):
+        seq = CORPUS["duplicate-heavy"]
+        st, n_blocks = self._merged(seq, seq.shape[0])
+        assert n_blocks == 1
+        assert np.array_equal(mask_from_state(st), lis_membership(seq))
+
+
+class TestDuplicateHeavyEndToEnd:
+    """Duplicate-heavy *trial pairs* through the sharded edit script:
+    every EditScript field bit-identical, not just the mask."""
+
+    @pytest.mark.parametrize("jobs", JOB_COUNTS)
+    def test_sharded_edit_script_fields_exact(self, jobs):
+        rng = suite_rng(salt=103)
+        for trial_n, alphabet in ((180, 3), (240, 9)):
+            tags = rng.integers(0, alphabet, size=trial_n).astype(np.int64)
+            times = np.cumsum(rng.exponential(100.0, size=trial_n))
+            a = make_trial(times, tags)
+            keep = rng.random(trial_n) > 0.1
+            bt = times[keep] + rng.normal(0.0, 250.0, size=int(keep.sum()))
+            order = np.argsort(bt, kind="stable")
+            b = make_trial(bt[order], tags[keep][order])
+            m = match_trials(a, b)
+            want = edit_script_from_matching(m)
+            for bp in _block_sizes(m.n_common):
+                got = edit_script_from_matching_sharded(
+                    m, jobs=jobs, block_packets=bp
+                )
+                assert np.array_equal(got.lcs_mask_b_order, want.lcs_mask_b_order)
+                assert np.array_equal(got.signed_distances, want.signed_distances)
+                assert np.array_equal(got.moved_distances, want.moved_distances)
+                assert np.array_equal(got.deletions_b, want.deletions_b)
+                assert np.array_equal(got.insertions_a, want.insertions_a)
+                assert got.total_distance() == want.total_distance()
+
+    def test_permutation_is_b_order_ranks(self):
+        """The sharded input is the same permutation serial runs on."""
+        rng = suite_rng(salt=104)
+        tags = rng.integers(0, 5, size=90).astype(np.int64)
+        times = np.cumsum(rng.exponential(80.0, size=90))
+        a = make_trial(times, tags)
+        b = make_trial(np.sort(times + rng.normal(0, 200, 90)), tags)
+        m = match_trials(a, b)
+        seq = b_order_ranks(m)
+        assert np.array_equal(
+            lis_mask_sharded(seq, jobs=1, block_packets=7), lis_membership(seq)
+        )
+
+
+class TestEdgeShapes:
+    def test_empty_sequence(self):
+        assert lis_mask_sharded(np.empty(0, dtype=np.int64), jobs=1).shape == (0,)
+
+    def test_single_element(self):
+        got = lis_mask_sharded(np.array([5], dtype=np.int64), jobs=1, block_packets=1)
+        assert np.array_equal(got, np.array([True]))
+
+    def test_block_larger_than_sequence(self):
+        seq = CORPUS["organ-pipe"]
+        got = lis_mask_sharded(seq, jobs=1, block_packets=10_000)
+        assert np.array_equal(got, lis_membership(seq))
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            plan_order_blocks(10, 0)
+
+    def test_noncontiguous_blocks_rejected(self):
+        seq = CORPUS["sorted"]
+        blocks = [patience_block(seq, 12, 24)]  # does not start at row 0
+        with pytest.raises(ValueError):
+            merge_blocks(seq, blocks)

@@ -8,8 +8,15 @@ exercise drops, reorders and latency noise under every job count and
 pathological shard sizes; degenerate shapes (empty, single-packet,
 fully-dropped) pin the short-circuit paths.
 
+The ordering-sharded axis (``TestOrderingShardedDifferential``) drives
+the prefix-patience LIS merge (:mod:`repro.parallel.ordershard`) over
+droppy/reordered/quiet pairs at every job count and pathological block
+sizes, asserting full ``EditScript`` equality — not just ``O``.
+
 ``REPRO_DIFF_JOBS`` (comma-separated, e.g. ``2,4``) restricts the job
-counts exercised — CI uses it to split the matrix across runners.
+counts exercised — CI uses it to split the matrix across runners; the
+randomized ordering pairs seed from ``REPRO_TEST_SEED`` (printed on
+failure) so CI failures replay locally.
 """
 
 from __future__ import annotations
@@ -184,6 +191,91 @@ class TestDegenerateShapes:
         want = compare_trials(a, b)
         got = compare_trials_parallel(a, b, jobs=jobs, shard_packets=3)
         assert_pair_equal(got, want)
+
+
+class TestOrderingShardedDifferential:
+    """The prefix-patience ordering path (``order_block_packets``) must be
+    bit-identical to serial on every pair kind × jobs × block size — the
+    full :class:`~repro.core.ordering.EditScript`, not just ``O``."""
+
+    @staticmethod
+    def _pair(kind: str, rng: np.random.Generator, n: int):
+        """Droppy / reordered / quiet pairs isolate the ordering regimes."""
+        tags = rng.integers(0, max(2, n // 3), size=n).astype(np.int64)
+        times = np.cumsum(rng.exponential(100.0, size=n))
+        baseline = make_trial(times, tags)
+        if kind == "droppy":
+            keep = rng.random(n) > 0.3
+            bt, btags = times[keep], tags[keep]
+        elif kind == "reordered":
+            bt = times + rng.normal(0.0, 600.0, size=n)  # hard shuffles
+            btags = tags
+        else:  # quiet: same packets, jitter too small to reorder
+            bt = times + rng.uniform(0.0, 1.0, size=n)
+            btags = tags
+        order = np.argsort(bt, kind="stable")
+        return baseline, make_trial(bt[order], btags[order])
+
+    @pytest.mark.parametrize("jobs", JOB_COUNTS)
+    @pytest.mark.parametrize("kind", ["droppy", "reordered", "quiet"])
+    def test_edit_script_fields_exact(self, kind, jobs):
+        from repro.core.matching import match_trials
+        from repro.core.ordering import edit_script_from_matching
+        from repro.parallel import edit_script_from_matching_sharded
+
+        from .conftest import suite_rng
+
+        rng = suite_rng(salt=200 + jobs)
+        for _ in range(6):
+            n = int(rng.integers(60, 400))
+            a, b = self._pair(kind, rng, n)
+            m = match_trials(a, b)
+            want = edit_script_from_matching(m)
+            for bp in (1, 23, max(1, m.n_common // 2), max(1, m.n_common)):
+                got = edit_script_from_matching_sharded(m, jobs=jobs, block_packets=bp)
+                assert np.array_equal(got.lcs_mask_b_order, want.lcs_mask_b_order)
+                assert np.array_equal(got.signed_distances, want.signed_distances)
+                assert np.array_equal(got.moved_distances, want.moved_distances)
+                assert np.array_equal(got.deletions_b, want.deletions_b)
+                assert np.array_equal(got.insertions_a, want.insertions_a)
+
+    @pytest.mark.parametrize("jobs", JOB_COUNTS)
+    def test_engine_reports_exact_with_ordering_blocks(self, jobs):
+        """Full PairReports through the engine with forced ordering blocks."""
+        from .conftest import suite_rng
+
+        rng = suite_rng(salt=300 + jobs)
+        with ParallelComparator(
+            jobs=jobs, shard_packets=61, order_block_packets=41
+        ) as pc:
+            for kind in ("droppy", "reordered", "quiet"):
+                for _ in range(4):
+                    n = int(rng.integers(50, 350))
+                    a, b = self._pair(kind, rng, n)
+                    assert_pair_equal(pc.compare(a, b), compare_trials(a, b))
+
+    def test_ordering_block_size_sweep(self):
+        """Block sizes 1..n_common+1 on one pair all reproduce serial."""
+        from .conftest import suite_rng
+
+        rng = suite_rng(salt=400)
+        a, b = self._pair("reordered", rng, 40)
+        want = compare_trials(a, b)
+        for bp in range(1, want.n_common + 2):
+            got = compare_trials_parallel(a, b, jobs=1, order_block_packets=bp)
+            assert_pair_equal(got, want)
+
+    def test_series_with_ordering_blocks_exact(self):
+        from .conftest import suite_rng
+
+        rng = suite_rng(salt=500)
+        trials = [self._pair("droppy", rng, 160)[0] for _ in range(3)]
+        got = compare_series_parallel(
+            trials, environment="ord", jobs=min(2, max(JOB_COUNTS)),
+            order_block_packets=37,
+        )
+        want = compare_series(trials, environment="ord")
+        assert_series_equal(got, want)
 
 
 class TestShardedMatching:

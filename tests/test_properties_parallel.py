@@ -5,7 +5,11 @@ cases from a fixed-seed Generator, so failures replay deterministically.
 The properties pinned here are the ones ``partials.py`` claims in its
 exactness model: shard-partition invariance, merge order-invariance,
 adjacency-respecting associativity/commutativity of ``combine``, and the
-[0, 1] range of κ after any merge.
+[0, 1] range of κ after any merge — plus the prefix-patience merge law
+``ordershard.py`` rests on: folding blocks through any reassociation
+(one pass, pairwise prefixes, random split points) yields the identical
+serial patience state.  Randomized suites seed from ``REPRO_TEST_SEED``
+via :func:`tests.conftest.suite_rng`.
 """
 
 from __future__ import annotations
@@ -24,7 +28,7 @@ from repro.parallel import (
     merge_partials,
 )
 
-from .conftest import make_trial
+from .conftest import make_trial, suite_rng
 
 
 BINS = SymlogBins()
@@ -166,6 +170,81 @@ class TestCombineAlgebra:
             merge_partials([p1, p2], n, BINS)  # short of n
 
 
+class TestPrefixPatienceAssociativity:
+    """The merge law behind :mod:`repro.parallel.ordershard`: folding
+    block states left-to-right is invariant under reassociation.  A
+    prefix-merge is itself a mergeable state (``merge_blocks(...,
+    state=...)`` continues from it without mutating it), so merging in
+    one pass, in pairwise groups, or by resuming from any split point
+    must all land on the identical serial state — tails, predecessor
+    links, and the walked-out mask."""
+
+    @staticmethod
+    def _states_equal(x, y):
+        assert x.hi == y.hi and x.n == y.n and x.tlen == y.tlen
+        assert np.array_equal(x.tails_vals[: x.tlen], y.tails_vals[: y.tlen])
+        assert np.array_equal(x.tails_idx[: x.tlen], y.tails_idx[: y.tlen])
+        assert np.array_equal(x.prev, y.prev)
+
+    @staticmethod
+    def _random_seq(rng: np.random.Generator, n: int) -> np.ndarray:
+        if rng.random() < 0.5:
+            return rng.permutation(n).astype(np.int64)
+        # duplicate-heavy draws stress the bisect_left tie-break
+        return rng.integers(0, max(2, n // 4), size=n).astype(np.int64)
+
+    def test_random_split_points_reassociate(self):
+        from repro.core.ordering import lis_membership
+        from repro.parallel import mask_from_state, merge_blocks, patience_block
+
+        rng = suite_rng(salt=600)
+        for _ in range(30):
+            n = int(rng.integers(8, 250))
+            seq = self._random_seq(rng, n)
+            bounds = random_partition(rng, n)
+            blocks = [patience_block(seq, lo, hi) for lo, hi in bounds]
+            one_pass = merge_blocks(seq, blocks)
+            # resume from a random split: merge([:k]) then continue with [k:]
+            k = int(rng.integers(0, len(blocks) + 1))
+            prefix = merge_blocks(seq, blocks[:k])
+            resumed = merge_blocks(seq, blocks[k:], state=prefix)
+            self._states_equal(resumed, one_pass)
+            # the prefix state was not mutated by the continuation
+            assert prefix.hi == (blocks[k - 1].hi if k else 0)
+            # and the walked-out mask is the canonical serial mask
+            assert np.array_equal(mask_from_state(one_pass), lis_membership(seq))
+
+    def test_nested_reassociations_agree(self):
+        """Fold ((a·b)·c)·d against (a·b)·(c·d)-style resumptions."""
+        from repro.parallel import merge_blocks, patience_block
+
+        rng = suite_rng(salt=601)
+        for _ in range(15):
+            n = int(rng.integers(12, 200))
+            seq = self._random_seq(rng, n)
+            bounds = random_partition(rng, n)
+            blocks = [patience_block(seq, lo, hi) for lo, hi in bounds]
+            want = merge_blocks(seq, blocks)
+            state = None
+            for blk in blocks:  # fully left-nested, one block at a time
+                state = merge_blocks(seq, [blk], state=state)
+            self._states_equal(state, want)
+
+    def test_block_granularity_invariance(self):
+        """Merging fine blocks == merging coarse blocks over the same rows."""
+        from repro.parallel import merge_blocks, patience_block, plan_order_blocks
+
+        rng = suite_rng(salt=602)
+        for _ in range(10):
+            n = int(rng.integers(20, 200))
+            seq = self._random_seq(rng, n)
+            fine = [patience_block(seq, lo, hi)
+                    for lo, hi in plan_order_blocks(n, 3)]
+            coarse = [patience_block(seq, lo, hi)
+                      for lo, hi in plan_order_blocks(n, 50)]
+            self._states_equal(merge_blocks(seq, fine), merge_blocks(seq, coarse))
+
+
 class TestKappaRangeAfterMerge:
     def test_kappa_in_unit_interval_for_any_sharding(self):
         """κ and every metric component stay in [0, 1] under fan-out."""
@@ -211,6 +290,23 @@ class TestShardPlanner:
         assert not ShardPlanner(4).use_whole_pairs(3)
         # forcing a shard size always forces the sharded path
         assert not ShardPlanner(4, shard_packets=5).use_whole_pairs(9)
+
+    def test_plan_ordering_auto_and_forced(self):
+        from repro.parallel import DEFAULT_ORDER_BLOCK_PACKETS
+
+        # auto: a pool plus a big-enough pair shards the ordering metric
+        plan = ShardPlanner(4).plan_ordering(100_000)
+        assert plan is not None
+        assert plan.bounds[0] == (0, DEFAULT_ORDER_BLOCK_PACKETS)
+        # serial, small pairs, or empty pairs keep the whole-pair task
+        assert ShardPlanner(1).plan_ordering(100_000) is None
+        assert ShardPlanner(4).plan_ordering(1000) is None
+        assert ShardPlanner(4).plan_ordering(0) is None
+        # forcing a block size shards even at jobs=1 (tests pin with this)
+        forced = ShardPlanner(1, order_block_packets=8).plan_ordering(20)
+        assert forced.bounds == ((0, 8), (8, 16), (16, 20))
+        # and forces the within-pair strategy for series
+        assert not ShardPlanner(4, order_block_packets=8).use_whole_pairs(9)
 
     def test_plan_validation(self):
         with pytest.raises(ValueError):

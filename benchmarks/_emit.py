@@ -1,0 +1,61 @@
+"""Machine-readable benchmark emission: ``benchmarks/out/<name>.json``.
+
+Every benchmark already writes its human-rendered table to
+``benchmarks/out/<name>.txt``; this module adds the structured twin so
+runs can be diffed, plotted or regression-tracked without re-parsing
+tables.  One document per benchmark, fixed schema::
+
+    {
+      "bench": "<benchmark name>",
+      "params": {...},        # workload knobs: sizes, seeds, core count
+      "wall_s": <float>,      # the headline wall time (serial reference)
+      "per_stage": {...}      # stage/config name -> seconds
+    }
+
+``params`` must name every seed the workload consumed, so an emitted
+artifact is self-describing the same way the ``--trace`` files are (the
+seed discipline of tests/conftest.py).  :func:`bench_document` validates
+the shape; :func:`write_bench_json` writes it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["bench_document", "write_bench_json"]
+
+
+def bench_document(
+    bench: str, params: dict, wall_s: float, per_stage: dict
+) -> dict:
+    """Assemble and validate one benchmark result document."""
+    if not bench or not isinstance(bench, str):
+        raise ValueError("bench must be a non-empty string")
+    if not isinstance(params, dict):
+        raise ValueError("params must be a dict")
+    wall_s = float(wall_s)
+    if not wall_s >= 0.0:  # also rejects NaN
+        raise ValueError(f"wall_s must be finite and >= 0, got {wall_s!r}")
+    stages = {}
+    for key, value in per_stage.items():
+        value = float(value)
+        if not value >= 0.0:
+            raise ValueError(f"per_stage[{key!r}] must be >= 0, got {value!r}")
+        stages[str(key)] = value
+    return {
+        "bench": bench,
+        "params": dict(params),
+        "wall_s": wall_s,
+        "per_stage": stages,
+    }
+
+
+def write_bench_json(
+    outdir, bench: str, params: dict, wall_s: float, per_stage: dict
+) -> Path:
+    """Write the validated document to ``<outdir>/<bench>.json``."""
+    doc = bench_document(bench, params, wall_s, per_stage)
+    path = Path(outdir) / f"{bench}.json"
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    return path

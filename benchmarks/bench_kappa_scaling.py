@@ -14,13 +14,22 @@ landscape changes:
   a rescaling that reshuffled everything would be suspect.
 """
 
+import time
+
 from repro.analysis import balanced_scaling, component_ranges, render_metric_rows
 from repro.experiments import SCENARIOS, run_scenario
 
 
-def test_balanced_kappa_across_environments(once, emit):
+def test_balanced_kappa_across_environments(once, emit, emit_json):
+    stage_s: dict[str, float] = {}
+
     def collect():
-        return [run_scenario(sc.key) for sc in SCENARIOS]
+        out = []
+        for sc in SCENARIOS:
+            t0 = time.perf_counter()
+            out.append(run_scenario(sc.key))
+            stage_s[sc.key] = time.perf_counter() - t0
+        return out
 
     reports = once(collect)
     scaling = balanced_scaling(reports)
@@ -45,6 +54,15 @@ def test_balanced_kappa_across_environments(once, emit):
         + f"U^{scaling.u_exponent:.3g} O^{scaling.o_exponent:.3g} "
         + f"L^{scaling.l_exponent:.3g} I^{scaling.i_exponent:.3g}\n\n"
         + render_metric_rows(rows),
+    )
+    emit_json(
+        "ablation_kappa_balancing",
+        {
+            "n_environments": len(SCENARIOS),
+            "seeds": {sc.key: sc.seed for sc in SCENARIOS},
+        },
+        sum(stage_s.values()),
+        stage_s,
     )
 
     by_env = {r["environment"]: r for r in rows}

@@ -67,7 +67,7 @@ def _assert_exact(got, want):
 
 
 @pytest.mark.skipif(SMOKE, reason="full engine sweep is not part of smoke mode")
-def test_parallel_analysis_speedup(once, emit):
+def test_parallel_analysis_speedup(once, emit, emit_json):
     a, b = _paper_scale_pair()
     usable_cores = len(os.sched_getaffinity(0))
 
@@ -100,6 +100,12 @@ def test_parallel_analysis_speedup(once, emit):
     lines.append("")
     lines.append("parallel output verified bit-identical to serial at every job count")
     emit("parallel_analysis", "\n".join(lines))
+    emit_json(
+        "parallel_analysis",
+        {"n_packets": N, "seed": 0, "usable_cores": usable_cores, "smoke": SMOKE},
+        rows[0][1],
+        {name: dt for name, dt, _ in rows},
+    )
 
     by_name = {name: speedup for name, _, speedup in rows}
     if usable_cores >= 4:
@@ -119,7 +125,7 @@ def _best_of(k, fn):
     return best
 
 
-def test_ordering_stage_scaling(once, emit):
+def test_ordering_stage_scaling(once, emit, emit_json):
     """The sharded ordering stage: scaling table + task-granularity gate."""
     from repro.core.matching import match_trials
     from repro.core.ordering import edit_script_from_matching, b_order_ranks
@@ -186,6 +192,21 @@ def test_ordering_stage_scaling(once, emit):
     )
     lines.append("sharded ordering verified bit-identical to serial")
     emit("ordering_scaling", "\n".join(lines))
+    per_stage = {name: dt for name, dt, _ in rows}
+    per_stage["one_ordering_block"] = block_s
+    per_stage["one_jobs4_timing_shard"] = shard_s
+    emit_json(
+        "ordering_scaling",
+        {
+            "n_common": int(m.n_common),
+            "seed": 0,
+            "block_packets": DEFAULT_ORDER_BLOCK_PACKETS,
+            "usable_cores": usable_cores,
+            "smoke": SMOKE,
+        },
+        serial_s,
+        per_stage,
+    )
 
     # The engine's schedule rests on this: an ordering block is a shorter
     # pool task than a timing shard, so at jobs >= 4 the ordering stage is

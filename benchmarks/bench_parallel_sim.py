@@ -53,7 +53,7 @@ def _assert_series_exact(got_trials, got_report, want_trials, want_report):
         assert g.move_stats == w.move_stats
 
 
-def test_parallel_sim_speedup(once, emit):
+def test_parallel_sim_speedup(once, emit, emit_json):
     usable_cores = len(os.sched_getaffinity(0))
 
     def sweep():
@@ -94,6 +94,18 @@ def test_parallel_sim_speedup(once, emit):
         "count; exactly one pool created per configuration"
     )
     emit("parallel_sim", "\n".join(lines))
+    emit_json(
+        "parallel_sim",
+        {
+            "n_packets": n_packets,
+            "n_runs": N_RUNS,
+            "duration_ns": DURATION_NS,
+            "seed": SEED,
+            "usable_cores": usable_cores,
+        },
+        rows[0][1],
+        {name: dt for name, dt, _ in rows},
+    )
 
     by_name = {name: speedup for name, _, speedup in rows}
     if usable_cores >= 4:

@@ -22,6 +22,11 @@ import pytest
 
 OUT_DIR = Path(__file__).parent / "out"
 
+# benchmarks/ is not a package; make the sibling _emit module importable
+# regardless of how pytest set up sys.path for this rootdir.
+if str(Path(__file__).parent) not in sys.path:
+    sys.path.insert(0, str(Path(__file__).parent))
+
 
 @pytest.fixture(scope="session")
 def outdir() -> Path:
@@ -40,6 +45,23 @@ def emit(outdir):
         return path
 
     return _emit
+
+
+@pytest.fixture
+def emit_json(outdir):
+    """Write a benchmark's structured result to benchmarks/out/<name>.json.
+
+    Schema and validation live in :mod:`benchmarks._emit`; the txt artifact
+    from ``emit`` stays the human rendering, this one is the machine twin.
+    """
+    from _emit import write_bench_json
+
+    def _emit_json(bench: str, params: dict, wall_s: float, per_stage: dict):
+        path = write_bench_json(outdir, bench, params, wall_s, per_stage)
+        sys.stdout.write(f"[{bench}] wrote {path}\n")
+        return path
+
+    return _emit_json
 
 
 @pytest.fixture

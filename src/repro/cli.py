@@ -11,7 +11,12 @@ Mirrors the artifact's workflow from a shell:
 
 All commands honor ``--scale`` (capture duration relative to the paper's
 0.3 s; default from ``REPRO_SCALE`` or 0.25) and print plain text so
-output can be redirected into experiment logs.  Commands that simulate or
+output can be redirected into experiment logs.  ``--trace FILE.json``
+(or ``REPRO_TRACE=FILE.json``) records a Chrome ``trace_event`` timeline
+of every pipeline stage — parent and worker processes alike — loadable in
+Perfetto / ``chrome://tracing``; ``--stats`` prints the stage/counter
+summary to stderr after the command (see :mod:`repro.obs` and
+``docs/observability.md``).  Commands that simulate or
 run the Section-3 analysis honor ``--jobs N`` (default from ``REPRO_JOBS``
 or 1), fanning both the trial simulation and the comparison across N
 processes via :mod:`repro.parallel` — every comparison stage shards,
@@ -45,8 +50,22 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker processes for simulation and analysis (default "
             "REPRO_JOBS or 1; output is identical at any N)",
         )
+        add_obs(p)
 
-    sub.add_parser("scenarios", help="list registered evaluation environments")
+    def add_obs(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--trace", default=None, metavar="FILE.json",
+            help="write a Chrome trace_event timeline of every stage "
+            "(Perfetto-loadable; default REPRO_TRACE if set)",
+        )
+        p.add_argument(
+            "--stats", action="store_true",
+            help="print stage timings and engine counters to stderr",
+        )
+
+    add_obs(sub.add_parser(
+        "scenarios", help="list registered evaluation environments"
+    ))
 
     p = sub.add_parser("simulate", help="run a scenario's trial series")
     p.add_argument("scenario", nargs="?", default=None,
@@ -133,6 +152,12 @@ def _cmd_simulate(args) -> int:
         sc = scenario(args.scenario)
         profile = sc.profile(args.scale)
         seed = sc.seed if args.seed is None else args.seed
+    from .obs import trace
+
+    trace.set_meta("seed", int(seed))
+    trace.set_meta("environment", profile.name)
+    if args.scale is not None:
+        trace.set_meta("scale", args.scale)
     print(f"simulating {profile.name} ({profile.describe()}) seed={seed}", file=sys.stderr)
     trials = Testbed(profile, seed=seed).run_series(args.runs, jobs=args.jobs)
     if args.output:
@@ -254,12 +279,26 @@ def main(argv: list[str] | None = None) -> int:
 
     The worker pool (if any stage created one) is torn down before
     returning — on success, error exit codes, and exceptions alike — so a
-    CLI invocation can never leak worker processes.
+    CLI invocation can never leak worker processes.  When tracing or
+    ``--stats`` is requested, the trace file and summary are emitted after
+    the pool shutdown, so worker telemetry from every stage is included.
     """
+    import os
+
     from .parallel.pool import shutdown_pool
 
     args = build_parser().parse_args(argv)
+    trace_path = getattr(args, "trace", None) or os.environ.get("REPRO_TRACE")
+    want_stats = bool(getattr(args, "stats", False))
+    if trace_path or want_stats:
+        from .obs import trace
+
+        trace.enable()
+        trace.set_meta("command", args.command)
     try:
+        if trace_path or want_stats:
+            with trace.span("cli." + args.command):
+                return _COMMANDS[args.command](args)
         return _COMMANDS[args.command](args)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early — not an error.
@@ -270,3 +309,21 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     finally:
         shutdown_pool()
+        if trace_path or want_stats:
+            _emit_observability(trace_path, want_stats)
+
+
+def _emit_observability(trace_path: str | None, want_stats: bool) -> None:
+    """Write the trace file and/or print the stats table (best effort)."""
+    try:
+        if trace_path:
+            from .obs.export import write_chrome_trace
+
+            write_chrome_trace(trace_path)
+            print(f"trace written to {trace_path}", file=sys.stderr)
+        if want_stats:
+            from .obs.export import stats_table
+
+            print(stats_table(), file=sys.stderr)
+    except BrokenPipeError:  # pragma: no cover - stderr piped and closed
+        pass

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from ..core.report import RunSeriesReport, compare_series
 from ..core.trial import Trial
+from ..obs import metrics
+from ..obs.trace import span
 from ..testbeds import EnvironmentProfile, Testbed
 from .scenarios import scenario
 
@@ -38,9 +40,17 @@ def analyze_trials(
     from ..parallel import compare_series_parallel, default_jobs
 
     jobs = default_jobs() if jobs is None else int(jobs)
-    if jobs > 1:
-        return compare_series_parallel(trials, environment=environment, jobs=jobs)
-    return compare_series(trials, environment=environment)
+    with span(
+        "experiment.analyze",
+        environment=environment,
+        n_trials=len(trials),
+        jobs=jobs,
+    ):
+        if jobs > 1:
+            return compare_series_parallel(
+                trials, environment=environment, jobs=jobs
+            )
+        return compare_series(trials, environment=environment)
 
 
 def run_trials(
@@ -75,11 +85,16 @@ def _cached_series(
     cache_key = (key, duration_scale, n_runs, seed_override)
     hit = _series_cache.get(cache_key)
     if hit is not None:
+        metrics.counter("runner.cache_hits").add()
         return hit
+    metrics.counter("runner.cache_misses").add()
     sc = scenario(key)
     profile = sc.profile(duration_scale)
     seed = sc.seed if seed_override is None else seed_override
-    trials = Testbed(profile, seed=seed).run_series(n_runs, jobs=jobs)
+    with span(
+        "experiment.scenario", key=key, seed=seed, n_runs=n_runs
+    ):
+        trials = Testbed(profile, seed=seed).run_series(n_runs, jobs=jobs)
     result = (tuple(trials), profile.name)
     if len(_series_cache) >= _SERIES_CACHE_MAX:
         _series_cache.pop(next(iter(_series_cache)))

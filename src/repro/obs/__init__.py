@@ -1,0 +1,89 @@
+"""``repro.obs`` — structured tracing, stage metrics, worker telemetry.
+
+The κ metric makes *testbed* behaviour measurable; this package does the
+same for the toolkit's own runtime, which until now was a black box: no
+logging, no timers, no visibility into the process pool.  Three layers:
+
+* :mod:`~repro.obs.trace` — a zero-dependency span tracer
+  (``span("analysis.order.block", lo=0, hi=8192)`` context manager and
+  ``traced`` decorator) recording wall/CPU time, pid and tid into a
+  thread-safe buffer, with a sub-microsecond no-op path when disabled;
+* :mod:`~repro.obs.metrics` — a counter/gauge/histogram registry
+  (monotonic counters, ns-resolution log2-bucket timing histograms) the
+  engine feeds: shard queue-wait, task wall time, shm bytes, pool
+  submissions and failures, simulation runs, ordering blocks merged;
+* :mod:`~repro.obs.export` — Chrome ``trace_event`` JSON (Perfetto),
+  JSONL span logs, and the human ``--stats`` table;
+* :mod:`~repro.obs.worker` — worker-side collection: pool tasks ship
+  their spans and metric deltas back piggybacked on results
+  (:class:`~repro.obs.worker.TaskTelemetry`), merged parent-side with
+  correct pid attribution so one timeline shows the whole fan-out.
+
+Surface: ``repro ... --trace FILE.json`` / ``--stats`` on every CLI
+command, or ``REPRO_TRACE=FILE.json`` in the environment.  Observation
+is inert by construction — κ and every ``MetricVector`` are
+bit-identical with tracing on or off (``tests/test_obs.py``).
+
+See ``docs/observability.md`` for the span catalog and Perfetto how-to.
+"""
+
+from . import export, metrics, trace, worker
+from .export import (
+    chrome_trace,
+    spans_jsonl,
+    stats_table,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_spans_jsonl,
+)
+from .metrics import REGISTRY, Registry, counter, gauge, histogram
+from .trace import (
+    SpanRecord,
+    TraceBuffer,
+    disable,
+    drain,
+    enable,
+    get_meta,
+    is_enabled,
+    records,
+    reset,
+    set_meta,
+    span,
+    traced,
+)
+from .worker import TaskEnvelope, TaskTelemetry, absorb, run_local, run_traced
+
+__all__ = [
+    "trace",
+    "metrics",
+    "export",
+    "worker",
+    "span",
+    "traced",
+    "enable",
+    "disable",
+    "is_enabled",
+    "records",
+    "drain",
+    "set_meta",
+    "get_meta",
+    "reset",
+    "SpanRecord",
+    "TraceBuffer",
+    "REGISTRY",
+    "Registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "chrome_trace",
+    "write_chrome_trace",
+    "spans_jsonl",
+    "write_spans_jsonl",
+    "stats_table",
+    "validate_chrome_trace",
+    "TaskTelemetry",
+    "TaskEnvelope",
+    "run_traced",
+    "run_local",
+    "absorb",
+]

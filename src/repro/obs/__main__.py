@@ -1,0 +1,11 @@
+"""``python -m repro.obs <trace.json> [--validate ...]`` — trace validation.
+
+Delegates to :func:`repro.obs.export._main`; running the package (rather
+than ``repro.obs.export`` directly) avoids the double-import runpy warning
+since ``repro.obs`` imports its submodules eagerly.
+"""
+
+from .export import _main
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

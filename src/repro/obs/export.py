@@ -1,0 +1,306 @@
+"""Exporters: Chrome ``trace_event`` JSON, JSONL span logs, stats tables.
+
+Three consumers, three formats:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  ``trace_event`` format (JSON Object Format, complete ``"X"`` events),
+  loadable in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+  Parent and worker spans share one timeline; a metadata event names
+  each process so the fan-out reads as "repro (parent)" plus its
+  workers.
+* :func:`spans_jsonl` / :func:`write_spans_jsonl` — one JSON object per
+  span, flat, for ad-hoc ``jq``/pandas digestion.
+* :func:`stats_table` — the human ``--stats`` rendering: per-stage wall
+  aggregates, counters, gauges and log2 histograms.
+
+Every export embeds the run metadata accumulated via
+:func:`repro.obs.trace.set_meta` (seed, command, scale), so artifacts
+are self-describing — a CI trace names the seed that produced it.
+
+:func:`validate_chrome_trace` is the schema check the CI ``trace-smoke``
+job runs; ``python -m repro.obs.export --validate FILE`` exposes it from
+a shell.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from . import trace
+from .metrics import REGISTRY, bucket_bounds
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "spans_jsonl",
+    "write_spans_jsonl",
+    "stats_table",
+    "validate_chrome_trace",
+]
+
+
+def _spans_or_buffer(spans) -> list[trace.SpanRecord]:
+    return trace.records() if spans is None else list(spans)
+
+
+def chrome_trace(spans=None, *, meta: dict | None = None) -> dict:
+    """The buffered spans as a Chrome ``trace_event`` JSON object.
+
+    Timestamps are microseconds relative to the earliest span, so the
+    timeline starts at zero regardless of wall-clock epoch.  ``spans``
+    defaults to the process buffer; ``meta`` extends the accumulated
+    run metadata.
+    """
+    spans = _spans_or_buffer(spans)
+    parent_pid = os.getpid()
+    origin_ns = min((s.start_ns for s in spans), default=0)
+    events = []
+    seen_pids: set[int] = set()
+    for s in spans:
+        if s.pid not in seen_pids:
+            seen_pids.add(s.pid)
+            label = "repro (parent)" if s.pid == parent_pid else f"worker {s.pid}"
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": s.pid,
+                    "tid": 0,
+                    "args": {"name": label},
+                }
+            )
+        args = {k: v for k, v in s.attrs.items()}
+        args["cpu_ms"] = s.cpu_ns / 1e6
+        events.append(
+            {
+                "name": s.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": (s.start_ns - origin_ns) / 1e3,
+                "dur": s.dur_ns / 1e3,
+                "pid": s.pid,
+                "tid": s.tid,
+                "args": args,
+            }
+        )
+    other = dict(trace.get_meta())
+    if meta:
+        other.update(meta)
+    other.setdefault("parent_pid", parent_pid)
+    other["n_spans"] = len(spans)
+    other["dropped_spans"] = trace.BUFFER.dropped
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(path, spans=None, *, meta: dict | None = None) -> Path:
+    """Write :func:`chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(spans, meta=meta), indent=1))
+    return path
+
+
+def spans_jsonl(spans=None) -> str:
+    """The spans as newline-delimited JSON objects (one per span)."""
+    spans = _spans_or_buffer(spans)
+    lines = []
+    for s in spans:
+        lines.append(
+            json.dumps(
+                {
+                    "name": s.name,
+                    "start_ns": s.start_ns,
+                    "dur_ns": s.dur_ns,
+                    "cpu_ns": s.cpu_ns,
+                    "pid": s.pid,
+                    "tid": s.tid,
+                    **({"attrs": s.attrs} if s.attrs else {}),
+                }
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_spans_jsonl(path, spans=None) -> Path:
+    """Write :func:`spans_jsonl` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(spans_jsonl(spans))
+    return path
+
+
+def stats_table(spans=None, registry=None, *, meta: dict | None = None) -> str:
+    """The human ``--stats`` rendering: stages, counters, histograms."""
+    spans = _spans_or_buffer(spans)
+    registry = REGISTRY if registry is None else registry
+    snap = registry.snapshot()
+    run_meta = dict(trace.get_meta())
+    if meta:
+        run_meta.update(meta)
+
+    lines: list[str] = ["== repro run stats =="]
+    if run_meta:
+        lines.append(
+            "meta: " + " ".join(f"{k}={v}" for k, v in sorted(run_meta.items()))
+        )
+
+    if spans:
+        agg: dict[str, list[int]] = {}
+        pids: set[int] = set()
+        for s in spans:
+            row = agg.setdefault(s.name, [0, 0, 0, 0])  # count, wall, cpu, max
+            row[0] += 1
+            row[1] += s.dur_ns
+            row[2] += s.cpu_ns
+            row[3] = max(row[3], s.dur_ns)
+            pids.add(s.pid)
+        lines.append(f"\nspans ({len(spans)} across {len(pids)} processes):")
+        lines.append(
+            f"  {'stage':<28s} {'count':>6s} {'wall ms':>10s} "
+            f"{'mean ms':>9s} {'max ms':>9s} {'cpu ms':>10s}"
+        )
+        for name in sorted(agg, key=lambda n: -agg[n][1]):
+            count, wall, cpu, mx = agg[name]
+            lines.append(
+                f"  {name:<28s} {count:>6d} {wall / 1e6:>10.3f} "
+                f"{wall / count / 1e6:>9.3f} {mx / 1e6:>9.3f} {cpu / 1e6:>10.3f}"
+            )
+
+    if snap["counters"]:
+        lines.append("\ncounters:")
+        for name in sorted(snap["counters"]):
+            lines.append(f"  {name:<32s} {snap['counters'][name]:>14d}")
+    if snap["gauges"]:
+        lines.append("\ngauges:")
+        for name in sorted(snap["gauges"]):
+            lines.append(f"  {name:<32s} {snap['gauges'][name]:>14g}")
+    if snap["histograms"]:
+        lines.append("\nhistograms (log2 ns buckets):")
+        for name in sorted(snap["histograms"]):
+            h = snap["histograms"][name]
+            if not h["count"]:
+                continue
+            mean = h["total"] / h["count"]
+            lines.append(
+                f"  {name:<32s} count={h['count']} mean={mean / 1e6:.3f}ms "
+                f"min={h['min'] / 1e6:.3f}ms max={h['max'] / 1e6:.3f}ms"
+            )
+            peaks = sorted(
+                (i for i, c in enumerate(h["counts"]) if c),
+                key=lambda i: -h["counts"][i],
+            )[:3]
+            for i in sorted(peaks):
+                lo, hi = bucket_bounds(i)
+                lines.append(
+                    f"    [{lo / 1e6:>10.3f}ms, {hi / 1e6:>10.3f}ms) "
+                    f"{h['counts'][i]:>8d}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Validation (the CI trace-smoke check).
+# ----------------------------------------------------------------------
+
+def validate_chrome_trace(
+    source,
+    *,
+    min_worker_pids: int = 0,
+    require_spans: tuple[str, ...] = (),
+) -> dict:
+    """Check a trace file (or dict) against the ``trace_event`` schema.
+
+    Raises :class:`ValueError` on any violation; returns a summary dict
+    (event count, span names, worker pids) on success.  ``require_spans``
+    lists span names that must appear; ``min_worker_pids`` sets the
+    least number of distinct non-parent pids expected — the acceptance
+    check that a fan-out trace really covers the worker processes.
+    """
+    if isinstance(source, (str, Path)):
+        doc = json.loads(Path(source).read_text())
+    else:
+        doc = source
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("not a trace_event JSON object (missing traceEvents)")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    names: set[str] = set()
+    pids: set[int] = set()
+    n_complete = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"event {i} is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                raise ValueError(f"event {i} missing required key {key!r}")
+        if ev["ph"] == "X":
+            for key in ("ts", "dur"):
+                if key not in ev or not isinstance(ev[key], (int, float)):
+                    raise ValueError(f"complete event {i} missing numeric {key!r}")
+            if ev["dur"] < 0 or ev["ts"] < 0:
+                raise ValueError(f"complete event {i} has negative ts/dur")
+            n_complete += 1
+            names.add(ev["name"])
+            pids.add(ev["pid"])
+        elif ev["ph"] not in ("M", "C", "B", "E", "i"):
+            raise ValueError(f"event {i} has unsupported phase {ev['ph']!r}")
+    if n_complete == 0:
+        raise ValueError("trace contains no complete (ph=X) span events")
+    parent_pid = doc.get("otherData", {}).get("parent_pid")
+    worker_pids = pids - ({parent_pid} if parent_pid is not None else set())
+    missing = [n for n in require_spans if n not in names]
+    if missing:
+        raise ValueError(f"trace is missing required span names: {missing}")
+    if len(worker_pids) < min_worker_pids:
+        raise ValueError(
+            f"trace covers {len(worker_pids)} worker pids, "
+            f"expected >= {min_worker_pids}"
+        )
+    return {
+        "n_events": len(events),
+        "n_spans": n_complete,
+        "span_names": sorted(names),
+        "parent_pid": parent_pid,
+        "worker_pids": sorted(worker_pids),
+        "meta": doc.get("otherData", {}),
+    }
+
+
+def _main(argv=None) -> int:
+    """``python -m repro.obs.export --validate FILE`` — the CI hook."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.export", description="Validate a repro trace_event file."
+    )
+    parser.add_argument("trace", help="path to a --trace output file")
+    parser.add_argument("--validate", action="store_true",
+                        help="accepted for readability; validation always runs")
+    parser.add_argument("--min-worker-pids", type=int, default=0)
+    parser.add_argument("--require", nargs="*", default=[],
+                        metavar="SPAN", help="span names that must be present")
+    args = parser.parse_args(argv)
+    try:
+        summary = validate_chrome_trace(
+            args.trace,
+            min_worker_pids=args.min_worker_pids,
+            require_spans=tuple(args.require),
+        )
+    except ValueError as e:
+        print(f"INVALID: {e}")
+        return 1
+    print(
+        f"OK: {summary['n_spans']} spans, "
+        f"{len(summary['worker_pids'])} worker pids, "
+        f"stages: {', '.join(summary['span_names'])}"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(_main())

@@ -47,6 +47,9 @@ from ..core.ordering import (
 from ..core.report import PairReport, RunSeriesReport, compare_trials
 from ..core.trial import Trial
 from ..core.uniqueness import uniqueness_from_matching
+from ..obs import metrics
+from ..obs.trace import span
+from ..obs.worker import run_local
 from .matchshard import DEFAULT_MIN_MATCH_PACKETS, match_trials_sharded
 from .ordershard import (
     _order_block_worker,
@@ -56,7 +59,7 @@ from .ordershard import (
     order_block_tasks,
 )
 from .partials import compute_shard_partial, merge_partials
-from .pool import gather, get_pool
+from .pool import gather, get_pool, submit_task
 from .shard import (
     DEFAULT_MIN_ORDER_PACKETS,
     DEFAULT_MIN_SHARD_PACKETS,
@@ -229,15 +232,19 @@ class ParallelComparator:
         configuration (see :mod:`repro.parallel.matchshard` for why), so
         this choice is purely a scheduling decision.
         """
-        if self.match_buckets == 0:
+        with span("analysis.match", n_a=len(baseline), n_b=len(run)):
+            if self.match_buckets == 0:
+                return match_trials(baseline, run)
+            if self.match_buckets is not None:
+                return match_trials_sharded(
+                    baseline, run, jobs=self.jobs, n_buckets=self.match_buckets
+                )
+            if (
+                self.jobs > 1
+                and min(len(baseline), len(run)) >= DEFAULT_MIN_MATCH_PACKETS
+            ):
+                return match_trials_sharded(baseline, run, jobs=self.jobs)
             return match_trials(baseline, run)
-        if self.match_buckets is not None:
-            return match_trials_sharded(
-                baseline, run, jobs=self.jobs, n_buckets=self.match_buckets
-            )
-        if self.jobs > 1 and min(len(baseline), len(run)) >= DEFAULT_MIN_MATCH_PACKETS:
-            return match_trials_sharded(baseline, run, jobs=self.jobs)
-        return match_trials(baseline, run)
 
     def _planner(self) -> ShardPlanner:
         return ShardPlanner(
@@ -253,12 +260,16 @@ class ParallelComparator:
         """Sharded :func:`repro.core.report.compare_trials` — exactly equal output."""
         bins = bins if bins is not None else SymlogBins()
         planner = self._planner()
+        metrics.counter("engine.pairs_compared").add()
         if (
             self.jobs == 1
             and planner.shard_packets is None
             and planner.order_block_packets is None
         ):
-            return compare_trials(baseline, run, bins=bins, within_ns=self.within_ns)
+            with span("analysis.pair", run=run.label, mode="serial"):
+                return compare_trials(
+                    baseline, run, bins=bins, within_ns=self.within_ns
+                )
         return self._compare_pair_sharded(baseline, run, bins, planner, slots=None)
 
     def compare_series(
@@ -286,23 +297,29 @@ class ParallelComparator:
             runs.append(run)
 
         planner = self._planner()
-        if (
-            self.jobs == 1
-            and planner.shard_packets is None
-            and planner.order_block_packets is None
-        ):
-            pairs = [
-                compare_trials(baseline, r, bins=bins, within_ns=self.within_ns)
-                for r in runs
-            ]
-        elif self.jobs > 1 and planner.use_whole_pairs(len(runs)):
-            pairs = self._compare_pairs_whole(baseline, runs, bins)
-        else:
-            slots = planner.pair_slots(len(runs))
-            pairs = [
-                self._compare_pair_sharded(baseline, r, bins, planner, slots=slots)
-                for r in runs
-            ]
+        metrics.counter("engine.pairs_compared").add(len(runs))
+        with span("analysis.series", n_pairs=len(runs), jobs=self.jobs):
+            if (
+                self.jobs == 1
+                and planner.shard_packets is None
+                and planner.order_block_packets is None
+            ):
+                pairs = []
+                for r in runs:
+                    with span("analysis.pair", run=r.label, mode="serial"):
+                        pairs.append(
+                            compare_trials(
+                                baseline, r, bins=bins, within_ns=self.within_ns
+                            )
+                        )
+            elif self.jobs > 1 and planner.use_whole_pairs(len(runs)):
+                pairs = self._compare_pairs_whole(baseline, runs, bins)
+            else:
+                slots = planner.pair_slots(len(runs))
+                pairs = [
+                    self._compare_pair_sharded(baseline, r, bins, planner, slots=slots)
+                    for r in runs
+                ]
         return RunSeriesReport(
             environment=environment,
             baseline_label=baseline.label,
@@ -315,6 +332,7 @@ class ParallelComparator:
     ) -> list[PairReport]:
         """Pair-level fan-out: one serial comparison per worker task."""
         pool = get_pool(self.jobs)
+        metrics.counter("engine.whole_pair_tasks").add(len(runs))
         with ShmArena(enabled=True) as arena:
             tags_a = arena.share(baseline.tags)
             times_a = arena.share(baseline.times_ns)
@@ -332,7 +350,12 @@ class ParallelComparator:
                     "bins": bins,
                     "within_ns": self.within_ns,
                 }
-                futures.append(pool.submit(_whole_pair_worker, task))
+                futures.append(
+                    submit_task(
+                        pool, _whole_pair_worker, task,
+                        name="analysis.pair.whole", run=run.label,
+                    )
+                )
             return gather(futures)
 
     @staticmethod
@@ -345,12 +368,13 @@ class ParallelComparator:
         tidx_buf: np.ndarray,
     ) -> tuple[float, MoveDistanceStats]:
         """Fold block worker results into the pair's O and move stats."""
-        blocks = blocks_from_results(order_results, prev_buf, tvals_buf, tidx_buf)
-        state = merge_blocks(a_ranks_in_b, blocks)
-        keep = mask_from_state(state)
-        script = edit_script_from_keep(m, a_ranks_in_b, keep)
-        o_val = ordering_from_matching(m, script)
-        return o_val, MoveDistanceStats.from_distances(script.moved_distances)
+        with span("analysis.merge.order", n_blocks=len(order_results)):
+            blocks = blocks_from_results(order_results, prev_buf, tvals_buf, tidx_buf)
+            state = merge_blocks(a_ranks_in_b, blocks)
+            keep = mask_from_state(state)
+            script = edit_script_from_keep(m, a_ranks_in_b, keep)
+            o_val = ordering_from_matching(m, script)
+            return o_val, MoveDistanceStats.from_distances(script.moved_distances)
 
     def _compare_pair_sharded(
         self,
@@ -361,10 +385,27 @@ class ParallelComparator:
         slots: int | None,
     ) -> PairReport:
         """Within-pair fan-out: timing shards + sharded ordering, merged."""
+        with span("analysis.pair", run=run.label, mode="sharded"):
+            return self._compare_pair_sharded_inner(
+                baseline, run, bins, planner, slots
+            )
+
+    def _compare_pair_sharded_inner(
+        self,
+        baseline: Trial,
+        run: Trial,
+        bins: SymlogBins,
+        planner: ShardPlanner,
+        slots: int | None,
+    ) -> PairReport:
         m = self._match(baseline, run)
         plan = planner.plan_pair(m.n_common, slots=slots)
         order_plan = planner.plan_ordering(m.n_common)
         use_pool = self.jobs > 1
+        metrics.counter("engine.timing_shards").add(plan.n_shards)
+        metrics.counter("engine.order_blocks").add(
+            1 if order_plan is None else order_plan.n_shards
+        )
         with ShmArena(enabled=use_pool) as arena:
             idx_a = arena.share(m.idx_a)
             idx_b = arena.share(m.idx_b)
@@ -416,13 +457,26 @@ class ParallelComparator:
                 # parent additionally merges the ordering result while
                 # the timing shards are still running.
                 if ordering_tasks is None:
-                    ordering_futures = [pool.submit(_ordering_worker, ordering_task)]
+                    ordering_futures = [
+                        submit_task(
+                            pool, _ordering_worker, ordering_task,
+                            name="analysis.order.pair", run=run.label,
+                        )
+                    ]
                 else:
                     ordering_futures = [
-                        pool.submit(_order_block_worker, t) for t in ordering_tasks
+                        submit_task(
+                            pool, _order_block_worker, t,
+                            name="analysis.order.block", lo=t["lo"], hi=t["hi"],
+                        )
+                        for t in ordering_tasks
                     ]
                 shard_futures = [
-                    pool.submit(_timing_shard_worker, t) for t in shard_tasks
+                    submit_task(
+                        pool, _timing_shard_worker, t,
+                        name="analysis.shard.timing", lo=t["lo"], hi=t["hi"],
+                    )
+                    for t in shard_tasks
                 ]
                 try:
                     order_results = gather(ordering_futures)
@@ -445,18 +499,35 @@ class ParallelComparator:
                 partials = gather(shard_futures)
             else:
                 if ordering_tasks is None:
-                    o_val, move_stats = _ordering_worker(ordering_task)
+                    o_val, move_stats = run_local(
+                        _ordering_worker, ordering_task,
+                        name="analysis.order.pair", run=run.label,
+                    )
                 else:
-                    order_results = [_order_block_worker(t) for t in ordering_tasks]
+                    order_results = [
+                        run_local(
+                            _order_block_worker, t,
+                            name="analysis.order.block", lo=t["lo"], hi=t["hi"],
+                        )
+                        for t in ordering_tasks
+                    ]
                     o_val, move_stats = self._merge_ordering(
                         m, a_ranks_in_b, order_results,
                         prev_buf, tvals_buf, tidx_buf,
                     )
-                partials = [_timing_shard_worker(t) for t in shard_tasks]
+                partials = [
+                    run_local(
+                        _timing_shard_worker, t,
+                        name="analysis.shard.timing", lo=t["lo"], hi=t["hi"],
+                    )
+                    for t in shard_tasks
+                ]
 
-            merged = merge_partials(
-                partials, m.n_common, bins, dlat_buffer=dlat_buf, diat_buffer=diat_buf
-            )
+            with span("analysis.merge.timings", n_shards=len(partials)):
+                merged = merge_partials(
+                    partials, m.n_common, bins,
+                    dlat_buffer=dlat_buf, diat_buffer=diat_buf,
+                )
             u_val = uniqueness_from_matching(m)
             if m.n_common == 0:
                 # Mirror the batch path's short-circuits: the spans are

@@ -38,7 +38,9 @@ import numpy as np
 
 from ..core.matching import Matching, match_tag_arrays
 from ..core.trial import Trial
-from .pool import gather, get_pool
+from ..obs import metrics
+from ..obs.worker import run_local
+from .pool import gather, get_pool, submit_task
 from .shard import default_jobs
 from .shm import ShmArena, attach_view, detach_all
 
@@ -135,11 +137,26 @@ def match_trials_sharded(
             for k in range(n_buckets)
             if caps[k] > 0
         ]
+        metrics.counter("match.bucket_tasks").add(len(tasks))
         if use_pool:
             pool = get_pool(jobs)
-            ns = gather([pool.submit(_match_bucket_worker, t) for t in tasks])
+            ns = gather(
+                [
+                    submit_task(
+                        pool, _match_bucket_worker, t,
+                        name="analysis.match.bucket", bucket=t["bucket"],
+                    )
+                    for t in tasks
+                ]
+            )
         else:
-            ns = [_match_bucket_worker(t) for t in tasks]
+            ns = [
+                run_local(
+                    _match_bucket_worker, t,
+                    name="analysis.match.bucket", bucket=t["bucket"],
+                )
+                for t in tasks
+            ]
 
         segments_ia = [
             ia_buf[t["offset"] : t["offset"] + n] for t, n in zip(tasks, ns)

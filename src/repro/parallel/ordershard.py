@@ -87,7 +87,10 @@ from ..core.ordering import (
     lis_indices_from_state,
     patience_fill,
 )
-from .pool import gather, get_pool
+from ..obs import metrics
+from ..obs.trace import span
+from ..obs.worker import run_local
+from .pool import gather, get_pool, submit_task
 from .shard import (
     DEFAULT_MIN_ORDER_PACKETS,
     DEFAULT_ORDER_BLOCK_PACKETS,
@@ -273,6 +276,16 @@ def merge_blocks(
             st.tlen = c + new_len
             st.replayed += 1
         st.hi = blk.hi
+    # Observability only: how the merge went, never what it produced.
+    # Deltas against the input state, so resumed prefix-merges (tests
+    # reassociate them) don't recount earlier calls' moves.
+    metrics.counter("order.blocks_merged").add(len(blocks))
+    metrics.counter("order.blocks_spliced").add(
+        st.spliced - (state.spliced if state is not None else 0)
+    )
+    metrics.counter("order.blocks_replayed").add(
+        st.replayed - (state.replayed if state is not None else 0)
+    )
     return st
 
 
@@ -403,12 +416,27 @@ def lis_mask_sharded(
         tasks = order_block_tasks(seq_spec, bounds, out_prev, out_tvals, out_tidx)
         if use_pool:
             pool = get_pool(jobs)
-            results = gather([pool.submit(_order_block_worker, t) for t in tasks])
+            results = gather(
+                [
+                    submit_task(
+                        pool, _order_block_worker, t,
+                        name="analysis.order.block", lo=t["lo"], hi=t["hi"],
+                    )
+                    for t in tasks
+                ]
+            )
         else:
-            results = [_order_block_worker(t) for t in tasks]
-        blocks = blocks_from_results(results, prev_buf, tvals_buf, tidx_buf)
-        state = merge_blocks(seq, blocks)
-        return mask_from_state(state)
+            results = [
+                run_local(
+                    _order_block_worker, t,
+                    name="analysis.order.block", lo=t["lo"], hi=t["hi"],
+                )
+                for t in tasks
+            ]
+        with span("analysis.merge.order", n_blocks=len(results)):
+            blocks = blocks_from_results(results, prev_buf, tvals_buf, tidx_buf)
+            state = merge_blocks(seq, blocks)
+            return mask_from_state(state)
 
 
 def edit_script_from_matching_sharded(

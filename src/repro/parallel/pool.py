@@ -32,17 +32,41 @@ drains the pool before re-raising.  Without the drain, sibling tasks of a
 failed batch would still be running when the caller's ``ShmArena``
 unlinks their input segments — under the old pool-per-series design that
 stalled the pool's own teardown; under a shared pool it would poison the
-*next* batch.
+*next* batch.  Failures are counted (``pool.task_failures``) and the
+re-raised exception carries the remote worker traceback string
+(``remote_traceback``) so a drained batch never swallows the original
+cause.
+
+Observability: :func:`submit_task` is the telemetry-aware front door —
+every fan-out site names its stage (``analysis.shard.timing``,
+``sim.run``, ...) and, when tracing is enabled
+(:mod:`repro.obs.trace`), the task runs wrapped in
+:func:`repro.obs.worker.run_traced` so its spans and metric deltas ride
+back on the result; :func:`gather` unwraps those envelopes and merges
+them parent-side.  With tracing off, ``submit_task`` degenerates to a
+bare ``pool.submit`` plus one counter increment.
 """
 
 from __future__ import annotations
 
 import atexit
 import threading
+import time
 from concurrent.futures import Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 
-__all__ = ["get_pool", "shutdown_pool", "pool_stats", "pool_scope", "gather", "PoolStats"]
+from ..obs import metrics, trace
+from ..obs.worker import TaskEnvelope, absorb, run_traced
+
+__all__ = [
+    "get_pool",
+    "shutdown_pool",
+    "pool_stats",
+    "pool_scope",
+    "submit_task",
+    "gather",
+    "PoolStats",
+]
 
 
 _lock = threading.Lock()
@@ -80,6 +104,8 @@ def get_pool(jobs: int) -> ProcessPoolExecutor:
             _executor = ProcessPoolExecutor(max_workers=jobs)
             _executor_jobs = jobs
             _created_total += 1
+            metrics.counter("pool.created").add()
+            metrics.gauge("pool.workers").set(jobs)
         return _executor
 
 
@@ -121,6 +147,30 @@ class pool_scope:
         shutdown_pool()
 
 
+def submit_task(
+    pool: ProcessPoolExecutor, fn, task, *, name: str | None = None, **attrs
+) -> Future:
+    """Submit one engine task, wrapped for telemetry when tracing is on.
+
+    ``name`` is the task's span name (``package.stage.substage``);
+    ``attrs`` annotate it (shard bounds, run index).  With tracing
+    disabled — the default — this is ``pool.submit(fn, task)`` plus one
+    counter increment, and results cross the pool unwrapped.
+    """
+    metrics.counter("pool.tasks_submitted").add()
+    if name is not None and trace.is_enabled():
+        return pool.submit(run_traced, fn, task, name, attrs, time.time_ns())
+    return pool.submit(fn, task)
+
+
+def _unwrap(result):
+    """Absorb a traced task's telemetry; hand back the bare payload."""
+    if type(result) is TaskEnvelope:
+        absorb(result.telemetry)
+        return result.payload
+    return result
+
+
 def gather(futures: list[Future]) -> list:
     """Results of ``futures`` in list order; on error, drain before raising.
 
@@ -129,11 +179,35 @@ def gather(futures: list[Future]) -> list:
     the caller is about to unlink — the failure mode that used to leave a
     doomed pool (and its segments) behind when one task of a series
     raised.
+
+    Telemetry envelopes from traced tasks (see :func:`submit_task`) are
+    unwrapped here, so every call site keeps receiving the bare payloads.
+    On failure, every failed future of the batch is counted in
+    ``pool.task_failures`` and the first failure is re-raised with the
+    remote worker traceback string attached as ``remote_traceback`` (and
+    as an exception note on Python >= 3.11) — the drain must never
+    swallow the original cause.
     """
     try:
-        return [f.result() for f in futures]
-    except BaseException:
+        return [_unwrap(f.result()) for f in futures]
+    except BaseException as exc:
         for f in futures:
             f.cancel()
         wait(futures)
+        n_failed = 0
+        for f in futures:
+            if not f.cancelled() and f.done() and f.exception() is not None:
+                n_failed += 1
+        if n_failed:
+            metrics.counter("pool.task_failures").add(n_failed)
+        # ProcessPoolExecutor chains the worker traceback as a
+        # _RemoteTraceback cause; surface it as a plain string so the
+        # error report names the worker-side frames even after the
+        # batch has been drained and its segments unlinked.
+        cause = exc.__cause__
+        if cause is not None and type(cause).__name__ == "_RemoteTraceback":
+            remote = str(cause)
+            exc.remote_traceback = remote
+            if hasattr(exc, "add_note"):  # Python >= 3.11
+                exc.add_note(f"remote worker traceback:\n{remote}")
         raise

@@ -36,6 +36,8 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
+from ..obs import metrics
+
 __all__ = [
     "ShardPlan",
     "ShardPlanner",
@@ -158,6 +160,7 @@ class ShardPlanner:
         bounds = tuple(
             (lo, min(lo + step, n_common)) for lo in range(0, n_common, step)
         )
+        metrics.counter("planner.timing_shards_planned").add(len(bounds))
         return ShardPlan(n_common, bounds)
 
     def plan_ordering(self, n_common: int) -> ShardPlan | None:
@@ -180,6 +183,7 @@ class ShardPlanner:
         bounds = tuple(
             (lo, min(lo + step, n_common)) for lo in range(0, n_common, step)
         )
+        metrics.counter("planner.order_blocks_planned").add(len(bounds))
         return ShardPlan(n_common, bounds)
 
     def use_whole_pairs(self, n_pairs: int) -> bool:

@@ -34,6 +34,8 @@ from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
+from ..obs import metrics
+
 __all__ = ["ArraySpec", "ShmArena", "attach_view", "detach_all"]
 
 
@@ -108,6 +110,8 @@ class ShmArena:
         view = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
         spec = ArraySpec(tuple(shape), dtype.str, shm_name=seg.name)
         self._views[seg.name] = view
+        metrics.counter("shm.segments").add()
+        metrics.counter("shm.bytes_shared").add(nbytes)
         return spec, view
 
     # -- parent-side access ----------------------------------------------

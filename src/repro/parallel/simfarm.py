@@ -29,10 +29,12 @@ import numpy as np
 
 from ..core.trial import Trial
 from ..net.pktarray import PacketArray
+from ..obs import metrics
+from ..obs.trace import span
 from ..replay.recording import Recording
 from ..testbeds.base import RunArtifacts, Testbed, simulate_run
 from ..testbeds.profiles import EnvironmentProfile
-from .pool import gather, get_pool
+from .pool import gather, get_pool, submit_task
 from .shard import default_jobs
 from .shm import ArraySpec, ShmArena, attach_view, detach_all
 
@@ -146,17 +148,23 @@ class SimFarm:
         if sorted(submit_order) != list(range(n_runs)):
             raise ValueError("submit_order must be a permutation of the runs")
 
+        metrics.counter("sim.runs").add(n_runs)
         if self.jobs == 1:
             out: list[RunArtifacts | None] = [None] * n_runs
-            for i in submit_order:
-                out[i] = simulate_run(profile, recordings, run_seqs[i], labels[i])
+            with span("sim.series", n_runs=n_runs, jobs=1):
+                for i in submit_order:
+                    with span("sim.run", run=i):
+                        out[i] = simulate_run(
+                            profile, recordings, run_seqs[i], labels[i]
+                        )
             return out  # type: ignore[return-value]
 
         pool = get_pool(self.jobs)
         # Replay drops packets but never creates them, so the recorded
         # packet count bounds every run's trial size.
         capacity = sum(len(rec) for rec in recordings)
-        with ShmArena(enabled=True) as arena:
+        with span("sim.series", n_runs=n_runs, jobs=self.jobs), \
+                ShmArena(enabled=True) as arena:
             rec_specs = [self._share_recording(arena, rec) for rec in recordings]
             futures: list = [None] * n_runs
             out_bufs: list = [None] * n_runs
@@ -172,7 +180,9 @@ class SimFarm:
                     "out_tags": out_tags,
                     "out_times": out_times,
                 }
-                futures[i] = pool.submit(_simulate_run_worker, task)
+                futures[i] = submit_task(
+                    pool, _simulate_run_worker, task, name="sim.run", run=i
+                )
             scalars = gather(futures)
 
             artifacts = []

@@ -38,6 +38,7 @@ import numpy as np
 from ..core.trial import Trial
 from ..generators.cbr import CBRGenerator
 from ..generators.splitter import split_by_port
+from ..obs import metrics, trace
 from ..net.link import Link
 from ..net.pktarray import PacketArray
 from ..net.sriov import SharedPort
@@ -289,8 +290,12 @@ class Testbed:
         self._series_count += 1
 
         nodes = self._build_nodes()
-        self._record_all(nodes, np.random.default_rng(plan.record))
+        with trace.span(
+            "testbed.record", environment=self.profile.name, n_runs=n_runs
+        ):
+            self._record_all(nodes, np.random.default_rng(plan.record))
         recordings = [node.recording for node in nodes]
+        metrics.counter("testbed.series_recorded").add()
 
         if labels is None:
             labels = [chr(ord("A") + i) if i < 26 else f"run{i}" for i in range(n_runs)]

@@ -48,6 +48,20 @@ def rng() -> np.random.Generator:
     return suite_rng()
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _record_seed_in_trace_meta():
+    """Stamp the suite seed into the observability run metadata.
+
+    Any trace or stats artifact a test emits (e.g. the pool-telemetry
+    round-trip tests) then names the seed that produced it, matching the
+    failure-report banner below.
+    """
+    from repro.obs import trace
+
+    trace.set_meta("test_seed", test_seed())
+    yield
+
+
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_makereport(item, call):
     """Stamp failing reports with the seed so CI failures replay locally."""

@@ -1,0 +1,396 @@
+"""The observability subsystem: spans, metrics, exporters, inertness.
+
+Four contracts under test, mirroring the priority order documented in
+:mod:`repro.obs.trace`:
+
+1. disabled tracing is a shared no-op (no records, sub-microsecond);
+2. span records carry correct nesting, attributes and error annotation;
+3. the metric registry's log2 histograms bucket exactly at powers of two
+   and its drain/merge delta cycle is lossless;
+4. tracing changes **nothing** — every MetricVector and κ of a traced
+   comparison is bit-identical to the untraced one, on the serial and
+   the forced-sharded paths alike.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from .conftest import make_trial, suite_rng
+from repro.core.report import compare_trials
+from repro.obs import export, metrics, trace
+from repro.obs.metrics import (
+    N_HIST_BUCKETS,
+    Registry,
+    bucket_bounds,
+    bucket_index,
+)
+from repro.obs.trace import span, traced
+from repro.obs.worker import TaskEnvelope, TaskTelemetry, absorb, run_local
+from repro.parallel import ParallelComparator
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """Every test starts and ends with tracing off and stores empty."""
+    trace.reset()
+    metrics.REGISTRY.reset()
+    yield
+    trace.reset()
+    metrics.REGISTRY.reset()
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+
+class TestSpans:
+    def test_disabled_records_nothing(self):
+        with span("analysis.pair", run="B"):
+            pass
+        assert trace.records() == []
+
+    def test_disabled_returns_shared_noop(self):
+        assert span("a") is span("b")
+
+    def test_records_name_attrs_and_ids(self):
+        import os
+        import threading
+
+        trace.enable()
+        with span("analysis.shard.timing", lo=0, hi=65536):
+            pass
+        (rec,) = trace.records()
+        assert rec.name == "analysis.shard.timing"
+        assert rec.attrs == {"lo": 0, "hi": 65536}
+        assert rec.pid == os.getpid()
+        assert rec.tid == threading.get_ident()
+        assert rec.dur_ns >= 0 and rec.start_ns > 0
+
+    def test_nesting_inner_closes_first_and_is_contained(self):
+        trace.enable()
+        with span("outer"):
+            with span("inner"):
+                time.sleep(0.001)
+        inner, outer = trace.records()
+        assert (inner.name, outer.name) == ("inner", "outer")
+        assert outer.start_ns <= inner.start_ns
+        assert outer.dur_ns >= inner.dur_ns
+
+    def test_exception_annotates_and_propagates(self):
+        trace.enable()
+        with pytest.raises(ValueError, match="boom"):
+            with span("analysis.match"):
+                raise ValueError("boom")
+        (rec,) = trace.records()
+        assert rec.attrs["error"] == "ValueError"
+
+    def test_decorator_respects_flag_per_call(self):
+        @traced("stage.decorated")
+        def fn(x):
+            return x * 2
+
+        assert fn(2) == 4
+        assert trace.records() == []
+        trace.enable()
+        assert fn(3) == 6
+        (rec,) = trace.records()
+        assert rec.name == "stage.decorated"
+
+    def test_drain_empties_buffer(self):
+        trace.enable()
+        with span("s"):
+            pass
+        assert len(trace.drain()) == 1
+        assert trace.records() == []
+
+    def test_buffer_cap_counts_drops(self):
+        buf = trace.TraceBuffer(max_spans=2)
+        rec = trace.SpanRecord("s", 1, 1, 1, 1, 1)
+        for _ in range(4):
+            buf.append(rec)
+        assert len(buf) == 2
+        assert buf.dropped == 2
+        buf2 = trace.TraceBuffer(max_spans=3)
+        buf2.extend([rec] * 5)
+        assert len(buf2) == 3 and buf2.dropped == 2
+
+    def test_disabled_overhead_is_negligible(self):
+        # Stage-granular call sites rely on the no-op fast path; budget
+        # 2 us/call — an order of magnitude above the observed cost, but
+        # still far below any real span body, so a regression to record
+        # allocation on the disabled path trips it.
+        n = 20_000
+        t0 = time.perf_counter_ns()
+        for _ in range(n):
+            with span("noop.overhead", lo=0, hi=1):
+                pass
+        per_call_ns = (time.perf_counter_ns() - t0) / n
+        assert per_call_ns < 2_000, f"{per_call_ns:.0f} ns per disabled span"
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+class TestMetrics:
+    @pytest.mark.parametrize("k", [1, 4, 10, 30, 62])
+    def test_bucket_edges_at_powers_of_two(self, k):
+        # 2^(k-1) .. 2^k - 1 share bucket k; 2^k starts bucket k+1.
+        assert bucket_index(1 << (k - 1)) == k
+        assert bucket_index((1 << k) - 1) == k
+        assert bucket_index(1 << k) == k + 1
+
+    def test_bucket_zero_and_saturation(self):
+        assert bucket_index(0) == 0
+        assert bucket_index(-5) == 0
+        assert bucket_index(1) == 1
+        assert bucket_index(1 << 70) == N_HIST_BUCKETS - 1
+
+    def test_bucket_bounds_cover_index(self):
+        for v in (1, 2, 3, 1000, 123456789):
+            lo, hi = bucket_bounds(bucket_index(v))
+            assert lo <= v < hi
+
+    def test_counter_monotonic(self):
+        c = metrics.counter("t.count")
+        c.add()
+        c.add(4)
+        with pytest.raises(ValueError):
+            c.add(-1)
+        assert metrics.REGISTRY.snapshot()["counters"]["t.count"] == 5
+
+    def test_histogram_snapshot(self):
+        h = metrics.histogram("t.hist")
+        for v in (1, 2, 3, 1024):
+            h.observe(v)
+        snap = metrics.REGISTRY.snapshot()["histograms"]["t.hist"]
+        assert snap["count"] == 4
+        assert snap["total"] == 1030
+        assert snap["min"] == 1 and snap["max"] == 1024
+        assert sum(snap["counts"]) == 4
+
+    def test_drain_merge_round_trip(self):
+        metrics.counter("t.c").add(7)
+        metrics.histogram("t.h").observe(100)
+        deltas = metrics.REGISTRY.drain_deltas()
+        # Drained: local registry zeroed.
+        assert metrics.REGISTRY.snapshot()["counters"]["t.c"] == 0
+        other = Registry()
+        other.counter("t.c").add(2)
+        other.merge_deltas(deltas)
+        snap = other.snapshot()
+        assert snap["counters"]["t.c"] == 9
+        assert snap["histograms"]["t.h"]["count"] == 1
+        assert snap["histograms"]["t.h"]["total"] == 100
+
+    def test_gauges_do_not_travel_in_deltas(self):
+        metrics.gauge("t.g").set(3)
+        deltas = metrics.REGISTRY.drain_deltas()
+        assert "gauges" not in deltas or not deltas.get("gauges")
+        # The gauge itself survives the drain (it is a level, not a flow).
+        assert metrics.REGISTRY.snapshot()["gauges"]["t.g"] == 3
+
+
+# ----------------------------------------------------------------------
+# Worker envelope plumbing (in-process; the live-pool path is covered in
+# test_pool_lifecycle.py)
+# ----------------------------------------------------------------------
+
+class TestWorkerTelemetry:
+    def test_absorb_merges_spans_and_deltas(self):
+        rec = trace.SpanRecord("sim.run", 10, 5, 3, pid=999, tid=1)
+        tel = TaskTelemetry(
+            pid=999,
+            queue_wait_ns=1000,
+            task_wall_ns=2000,
+            spans=(rec,),
+            metric_deltas={"counters": {"sim.runs": 4}},
+        )
+        absorb(tel)
+        assert [s.pid for s in trace.records()] == [999]
+        snap = metrics.REGISTRY.snapshot()
+        assert snap["counters"]["sim.runs"] == 4
+        assert snap["histograms"]["pool.queue_wait_ns"]["count"] == 1
+        assert snap["histograms"]["pool.task_wall_ns"]["count"] == 1
+
+    def test_run_local_matches_pool_naming(self):
+        assert run_local(lambda t: t + 1, 1, "stage.x") == 2
+        assert trace.records() == []  # disabled: straight call
+        trace.enable()
+        assert run_local(lambda t: t + 1, 1, "stage.x", lo=0) == 2
+        (rec,) = trace.records()
+        assert rec.name == "stage.x" and rec.attrs == {"lo": 0}
+
+    def test_envelope_is_plain_data(self):
+        env = TaskEnvelope("payload", TaskTelemetry(1, 0, 0))
+        assert env.payload == "payload"
+        assert env.telemetry.pid == 1
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+
+def _sample_spans():
+    import os
+
+    parent = os.getpid()
+    return [
+        trace.SpanRecord("testbed.record", 1_000, 500, 400, parent, 1),
+        trace.SpanRecord("sim.run", 1_200, 200, 150, parent + 1, 1, {"run": 0}),
+        trace.SpanRecord("sim.run", 1_300, 210, 160, parent + 2, 1, {"run": 1}),
+    ]
+
+
+class TestExport:
+    def test_chrome_trace_is_valid_and_relative(self):
+        doc = export.chrome_trace(_sample_spans(), meta={"seed": 7})
+        summary = export.validate_chrome_trace(
+            doc, min_worker_pids=2, require_spans=("testbed.record", "sim.run")
+        )
+        assert summary["n_spans"] == 3
+        assert len(summary["worker_pids"]) == 2
+        assert doc["otherData"]["seed"] == 7
+        # Timeline starts at zero: earliest ts is 0 us.
+        xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert min(e["ts"] for e in xs) == 0.0
+
+    def test_chrome_trace_names_processes(self):
+        doc = export.chrome_trace(_sample_spans())
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        import os
+
+        assert names[os.getpid()] == "repro (parent)"
+        assert sum(1 for v in names.values() if v.startswith("worker ")) == 2
+
+    def test_write_and_validate_file(self, tmp_path):
+        trace.enable()
+        trace.set_meta("seed", 42)
+        with span("cli.test"):
+            pass
+        path = export.write_chrome_trace(tmp_path / "t.json")
+        summary = export.validate_chrome_trace(path, require_spans=("cli.test",))
+        assert summary["meta"]["seed"] == 42
+
+    def test_jsonl_round_trips(self):
+        lines = export.spans_jsonl(_sample_spans()).splitlines()
+        assert len(lines) == 3
+        objs = [json.loads(line) for line in lines]
+        assert objs[0]["name"] == "testbed.record"
+        assert objs[1]["attrs"] == {"run": 0}
+
+    def test_stats_table_mentions_stages_and_counters(self):
+        metrics.counter("engine.pairs_compared").add(3)
+        table = export.stats_table(_sample_spans())
+        assert "testbed.record" in table
+        assert "sim.run" in table
+        assert "engine.pairs_compared" in table
+
+    @pytest.mark.parametrize(
+        "doc, msg",
+        [
+            ({"events": []}, "traceEvents"),
+            ({"traceEvents": [{"ph": "X"}]}, "missing required key"),
+            (
+                {"traceEvents": [
+                    {"name": "s", "ph": "X", "pid": 1, "tid": 1, "ts": 0}
+                ]},
+                "numeric 'dur'",
+            ),
+            ({"traceEvents": []}, "no complete"),
+        ],
+    )
+    def test_validator_rejects_malformed(self, doc, msg):
+        with pytest.raises(ValueError, match=msg):
+            export.validate_chrome_trace(doc)
+
+    def test_validator_enforces_required_spans_and_pids(self):
+        doc = export.chrome_trace(_sample_spans())
+        with pytest.raises(ValueError, match="missing required span"):
+            export.validate_chrome_trace(doc, require_spans=("analysis.match",))
+        with pytest.raises(ValueError, match="worker pids"):
+            export.validate_chrome_trace(doc, min_worker_pids=5)
+
+
+# ----------------------------------------------------------------------
+# The differential guard: tracing is inert
+# ----------------------------------------------------------------------
+
+def _noisy_pair(n=30_000):
+    """A pair with drops, reorders and jitter — all metric paths active."""
+    rng = suite_rng(salt=0xB5)
+    base = np.cumsum(rng.uniform(50, 150, size=n))
+    a = make_trial(base, label="A")
+    keep = rng.random(n) > 0.01
+    times = base[keep] + rng.normal(0, 30, size=int(keep.sum()))
+    tags = np.arange(n)[keep]
+    order = np.argsort(times, kind="stable")
+    b = make_trial(times[order], tags=tags[order], label="B")
+    return a, b
+
+
+class TestTracingIsInert:
+    def test_serial_compare_bit_identical(self):
+        a, b = _noisy_pair()
+        ref = compare_trials(a, b)
+        trace.enable()
+        traced_rep = compare_trials(a, b)
+        assert traced_rep.metrics == ref.metrics
+        assert traced_rep.kappa == ref.kappa
+
+    def test_sharded_compare_bit_identical_and_staged(self):
+        a, b = _noisy_pair()
+        ref = compare_trials(a, b)
+
+        def sharded():
+            return ParallelComparator(
+                jobs=1,
+                shard_packets=4096,
+                order_block_packets=4096,
+                match_buckets=4,
+            ).compare(a, b)
+
+        untraced = sharded()
+        trace.enable()
+        traced_rep = sharded()
+
+        for rep in (untraced, traced_rep):
+            assert rep.metrics == ref.metrics
+            assert rep.kappa == ref.kappa
+            assert rep.pct_iat_within_10ns == ref.pct_iat_within_10ns
+
+        names = {r.name for r in trace.records()}
+        # Every sharded stage shows up, at stage/task granularity.
+        for required in (
+            "analysis.pair",
+            "analysis.match",
+            "analysis.match.bucket",
+            "analysis.shard.timing",
+            "analysis.order.block",
+            "analysis.merge.order",
+            "analysis.merge.timings",
+        ):
+            assert required in names, f"missing span {required}"
+        # Stage granularity, not per-packet: far fewer spans than rows.
+        assert len(trace.records()) < 100
+
+    def test_testbed_series_bit_identical(self):
+        from repro.testbeds import Testbed, local_single_replayer
+
+        profile = local_single_replayer().at_duration(2e6)
+        ref = [t.times_ns for t in Testbed(profile, seed=3).run_series(2)]
+        trace.enable()
+        got = [t.times_ns for t in Testbed(profile, seed=3).run_series(2)]
+        for r, g in zip(ref, got):
+            np.testing.assert_array_equal(r, g)
+        names = {r.name for r in trace.records()}
+        assert {"testbed.record", "sim.series", "sim.run"} <= names

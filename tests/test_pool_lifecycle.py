@@ -9,7 +9,11 @@ old pool-per-series churn; these tests make it a *tested property*:
 * teardown — ``pool_scope`` and the CLI drain the pool on normal exit
   *and* on error paths (the leak the old per-comparator pools had);
 * failure containment — a raising worker task doesn't poison the pool,
-  and ``gather`` drains the rest of a failed batch before re-raising.
+  ``gather`` drains the rest of a failed batch before re-raising, counts
+  the failure, and attaches the remote worker traceback;
+* telemetry round-trip — with tracing on, worker spans and counters ship
+  back through the live pool with worker-pid attribution, and the traced
+  results stay bit-identical to untraced ones.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ import pytest
 
 import repro.cli as cli
 from repro.core import compare_series
+from repro.obs import metrics, trace
 from repro.parallel import (
     ParallelComparator,
     compare_series_parallel,
@@ -35,10 +40,14 @@ PROFILE = local_single_replayer().at_duration(3e6)
 
 @pytest.fixture(autouse=True)
 def _clean_pool():
-    """Every test starts and ends with no live pool."""
+    """Every test starts and ends with no live pool (and clean telemetry)."""
     shutdown_pool()
+    trace.reset()
+    metrics.REGISTRY.reset()
     yield
     shutdown_pool()
+    trace.reset()
+    metrics.REGISTRY.reset()
 
 
 def _boom(_arg):
@@ -181,3 +190,79 @@ class TestFailureContainment:
         # resources the caller is about to release.
         assert all(f.done() for f in futures)
         assert pool.submit(_ok, 1).result() == 2
+
+    def test_gather_attaches_remote_traceback_and_counts(self):
+        """A worker failure surfaces *where it happened*, not just what.
+
+        The bare executor loses the worker's traceback string unless it
+        is re-attached; ``gather`` pins it on the exception and bumps the
+        ``pool.task_failures`` counter so --stats shows failures even
+        when the exception is caught upstream.
+        """
+        from repro.parallel import gather
+
+        pool = get_pool(2)
+        before = metrics.REGISTRY.snapshot()["counters"].get(
+            "pool.task_failures", 0
+        )
+        with pytest.raises(RuntimeError, match="worker exploded") as ei:
+            gather([pool.submit(_boom, None)])
+        remote = getattr(ei.value, "remote_traceback", None)
+        assert remote is not None
+        assert "worker exploded" in remote
+        assert "_boom" in remote  # the worker-side frame, not the parent's
+        after = metrics.REGISTRY.snapshot()["counters"]["pool.task_failures"]
+        assert after == before + 1
+
+
+class TestWorkerTelemetryRoundTrip:
+    def test_spans_and_counters_cross_the_pool(self):
+        """A traced fan-out ships worker spans back, pid-attributed."""
+        import os
+
+        trace.enable()
+        trials = Testbed(PROFILE, seed=3).run_series(3, jobs=2)
+        spans = trace.records()
+        run_spans = [s for s in spans if s.name == "sim.run"]
+        assert len(run_spans) == 3
+        worker_pids = {s.pid for s in run_spans}
+        assert os.getpid() not in worker_pids
+        # The parent-side series span is in the same buffer.
+        assert any(
+            s.name == "sim.series" and s.pid == os.getpid() for s in spans
+        )
+        snap = metrics.REGISTRY.snapshot()
+        assert snap["counters"]["sim.runs"] == 3
+        assert snap["histograms"]["pool.queue_wait_ns"]["count"] == 3
+        assert snap["histograms"]["pool.task_wall_ns"]["count"] == 3
+        # And tracing changed nothing: bit-identical to the untraced serial run.
+        want = Testbed(PROFILE, seed=3).run_series(3, jobs=1)
+        for got_t, want_t in zip(trials, want):
+            assert got_t.times_ns.tobytes() == want_t.times_ns.tobytes()
+
+    def test_untraced_pool_results_stay_bare(self):
+        """With tracing off the wrapper never runs — no envelopes, no spans."""
+        Testbed(PROFILE, seed=3).run_series(2, jobs=2)
+        assert trace.records() == []
+
+    def test_traced_analysis_covers_shard_stages(self):
+        """Sharded analysis at jobs=2 emits worker-pid shard spans."""
+        import os
+
+        trials = Testbed(PROFILE, seed=3).run_series(2, jobs=1)
+        trace.enable()
+        rep = ParallelComparator(
+            jobs=2, shard_packets=2048, order_block_packets=2048
+        ).compare_series(trials, environment=PROFILE.name)
+        names_by_pid: dict[int, set[str]] = {}
+        for s in trace.records():
+            names_by_pid.setdefault(s.pid, set()).add(s.name)
+        worker_names: set[str] = set()
+        for pid, names in names_by_pid.items():
+            if pid != os.getpid():
+                worker_names |= names
+        assert "analysis.shard.timing" in worker_names
+        assert "analysis.order.block" in worker_names
+        # Inert under fan-out, too.
+        want = compare_series(trials, environment=PROFILE.name)
+        assert_series_equal(rep, want)

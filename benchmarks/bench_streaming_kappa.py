@@ -1,0 +1,175 @@
+"""Throughput and memory of the streaming κ path (repro.analysis.streamkappa).
+
+Two claims, two measurements, at two session lengths (the longer 10× the
+shorter):
+
+* **StreamKappa throughput** — packets/second through the exact
+  incremental comparator at a fixed chunk size, checked bit-identical to
+  the batch path on the same pair.  State here is O(session) by design.
+* **KappaMonitor memory bound** — peak per-session buffered bytes while
+  the monitor consumes both streams.  This is the acceptance criterion of
+  the bounded-memory design: peak bytes must stay **flat** as the session
+  grows 10×, because windows close and free as both streams pass them.
+
+Results go to ``benchmarks/out/streaming_kappa.{txt,json}``.
+
+``REPRO_BENCH_SMOKE=1`` (CI) shrinks the sessions and turns both claims
+into regression gates: flat memory, and long-session throughput within
+10% of short-session throughput (a machine-independent way to catch a
+super-linear per-packet cost creeping into the hot path).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.analysis.streamkappa import KappaMonitor, StreamKappa
+from repro.core import Trial, compare_trials
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+N_SHORT = 20_000 if SMOKE else 100_000
+N_LONG = 10 * N_SHORT
+CHUNK = 4096
+GAP_NS = 284.0
+# Two windows per feed tick, exactly: a tick/window phase that drifted
+# would make the mid-tick buffer high-water mark depend on how many ticks
+# a session has (longer sessions sample worse alignments), which is
+# measurement noise, not memory growth.
+WINDOW_NS = CHUNK * GAP_NS / 2  # ~2048 packets per monitoring window
+
+
+def _session_pair(n, seed=0):
+    """Baseline + one run with jitter, ~0.5% drops and occasional reorders."""
+    rng = np.random.default_rng(seed)
+    times = np.cumsum(rng.exponential(GAP_NS, n))
+    tags = np.arange(n, dtype=np.int64)
+    keep = rng.random(n) > 0.005
+    bt = times[keep] + rng.normal(0.0, 40.0, int(keep.sum()))
+    order = np.argsort(bt, kind="stable")
+    a = Trial(tags, times, label="A")
+    b = Trial(tags[keep][order], bt[order], label="B")
+    return a, b
+
+
+def _best_of(k, fn):
+    """Minimum wall time of k runs — the standard noise floor estimator."""
+    best = float("inf")
+    for _ in range(k):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _stream_once(a, b):
+    sk = StreamKappa(a)
+    for lo in range(0, len(b), CHUNK):
+        sk.update(b.tags[lo : lo + CHUNK], b.times_ns[lo : lo + CHUNK])
+    return sk
+
+
+def _monitor_once(a, b):
+    # A live tap delivers both streams up to the same wall clock each
+    # tick, so feed on a shared time grid (index-aligned feeding would let
+    # the droppy run drift ahead of the baseline by O(session) time).
+    mon = KappaMonitor(WINDOW_NS)
+    t_end = max(a.end_ns, b.end_ns)
+    grid = np.arange(a.start_ns, t_end + CHUNK * GAP_NS, CHUNK * GAP_NS)
+    cuts_a = np.searchsorted(a.times_ns, grid)
+    cuts_b = np.searchsorted(b.times_ns, grid)
+    ia = ib = 0
+    for ja, jb in zip(cuts_a, cuts_b):
+        if ja > ia:
+            mon.feed_baseline("s", a.tags[ia:ja], a.times_ns[ia:ja])
+            ia = ja
+        if jb > ib:
+            mon.feed_run("s", b.tags[ib:jb], b.times_ns[ib:jb])
+            ib = jb
+    if ia < len(a):
+        mon.feed_baseline("s", a.tags[ia:], a.times_ns[ia:])
+    if ib < len(b):
+        mon.feed_run("s", b.tags[ib:], b.times_ns[ib:])
+    mon.finish("s")
+    return mon
+
+
+def test_streaming_kappa_throughput_and_memory(once, emit, emit_json):
+    reps = 3 if SMOKE else 2
+
+    def sweep():
+        rows = []
+        for n in (N_SHORT, N_LONG):
+            a, b = _session_pair(n)
+            sk = _stream_once(a, b)  # warm + correctness
+            assert sk.result() == compare_trials(a, b).metrics
+            stream_s = _best_of(reps, lambda: _stream_once(a, b))
+            mon = _monitor_once(a, b)  # warm + the memory number
+            monitor_s = _best_of(reps, lambda: _monitor_once(a, b))
+            rows.append({
+                "n": n,
+                "stream_s": stream_s,
+                "stream_pps": len(b) / stream_s,
+                "stream_state_bytes": sk.peak_bytes,
+                "monitor_s": monitor_s,
+                "monitor_pps": (len(a) + len(b)) / monitor_s,
+                "monitor_peak_bytes": mon.peak_bytes("s"),
+                "windows": mon.window_count("s"),
+            })
+        return rows
+
+    rows = once(sweep)
+
+    lines = [
+        f"streaming kappa, chunk={CHUNK}, window={WINDOW_NS:g} ns"
+        f"{' (smoke)' if SMOKE else ''}",
+        f"{'packets':>9s}  {'stream pkt/s':>12s}  {'stream state':>12s}  "
+        f"{'monitor pkt/s':>13s}  {'monitor peak':>12s}  {'windows':>7s}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['n']:>9d}  {r['stream_pps']:>12.0f}  "
+            f"{r['stream_state_bytes']:>11d}B  {r['monitor_pps']:>13.0f}  "
+            f"{r['monitor_peak_bytes']:>11d}B  {r['windows']:>7d}"
+        )
+    short, long = rows
+    mem_ratio = long["monitor_peak_bytes"] / max(short["monitor_peak_bytes"], 1)
+    lines.append("")
+    lines.append(
+        f"monitor peak bytes at 10x session length: {mem_ratio:.2f}x "
+        "(bounded-memory criterion: flat)"
+    )
+    lines.append(
+        "stream state grows with the session (exactness costs O(session)): "
+        f"{long['stream_state_bytes'] / max(short['stream_state_bytes'], 1):.1f}x"
+    )
+    lines.append("streaming result verified bit-identical to batch at both lengths")
+    emit("streaming_kappa", "\n".join(lines))
+    emit_json(
+        "streaming_kappa",
+        {"chunk": CHUNK, "window_ns": WINDOW_NS, "seed": 0, "smoke": SMOKE},
+        short["stream_s"] + long["stream_s"] + short["monitor_s"] + long["monitor_s"],
+        {
+            f"{key}_{r['n']}": r[key]
+            for r in rows
+            for key in ("stream_s", "monitor_s", "stream_pps", "monitor_pps")
+        },
+    )
+
+    # The acceptance criterion: monitor memory is O(window), not
+    # O(session).  10x the session must not move the peak (small slack
+    # for the bounded kappa ring and dict overhead).
+    assert long["monitor_peak_bytes"] <= 1.5 * short["monitor_peak_bytes"] + 4096, (
+        f"monitor peak bytes grew with session length: "
+        f"{short['monitor_peak_bytes']}B -> {long['monitor_peak_bytes']}B"
+    )
+
+    if SMOKE:
+        # Machine-independent throughput gate: per-packet cost must not
+        # grow with session length (>10% drop at 10x flags a super-linear
+        # term in the hot path).
+        assert long["stream_pps"] >= 0.9 * short["stream_pps"], (
+            f"streaming throughput regressed with session length: "
+            f"{short['stream_pps']:.0f} pkt/s at n={short['n']} vs "
+            f"{long['stream_pps']:.0f} pkt/s at n={long['n']}"
+        )

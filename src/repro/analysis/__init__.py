@@ -6,13 +6,14 @@ tables, figures, and text reports.
 """
 
 from .capture import CaptureFormatError, capture_info, read_capture, write_capture
-from .changepoints import LatencyStep, detect_latency_steps
+from .changepoints import LatencyStep, detect_latency_steps, detect_series_steps
 from .owd import OwdSeries, owd_series
 from .compare import analyze_directory, load_series, render_report, save_series
 from .pcap import MIN_FRAME_BYTES, PcapReadResult, read_pcap, write_pcap
 from .pcapng import PcapngReadResult, read_pcapng, write_pcapng
 from .stats import SeedSweepResult, bootstrap_ci, seed_sweep
 from .streaming import StreamingComparison, stream_compare
+from .streamkappa import DegradationEvent, KappaMonitor, StreamKappa, WindowReport
 from .tracestats import TraceStats, detect_bursts, trace_stats
 from .weights import balanced_scaling, component_ranges
 from .tables import render_table1, render_table2, table1_rows, table2_rows
@@ -61,6 +62,11 @@ __all__ = [
     "component_ranges",
     "StreamingComparison",
     "stream_compare",
+    "StreamKappa",
+    "KappaMonitor",
+    "WindowReport",
+    "DegradationEvent",
+    "detect_series_steps",
     "TraceStats",
     "trace_stats",
     "detect_bursts",

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["LatencyStep", "detect_latency_steps"]
+__all__ = ["LatencyStep", "detect_latency_steps", "detect_series_steps"]
 
 
 @dataclass(frozen=True)
@@ -126,3 +126,28 @@ def detect_latency_steps(
             )
         )
     return steps
+
+
+def detect_series_steps(
+    series: np.ndarray,
+    *,
+    min_step: float,
+    z_threshold: float = 8.0,
+    max_steps: int = 16,
+) -> list[LatencyStep]:
+    """Step detection on a series in arbitrary units (e.g. windowed κ).
+
+    The segmentation math is unit-agnostic — only the parameter names of
+    :func:`detect_latency_steps` are latency-flavored — so this wrapper
+    reuses it verbatim for non-latency series.  The live monitor
+    (:class:`repro.analysis.streamkappa.KappaMonitor`) runs it over each
+    session's windowed κ history to flag degradations: a returned step
+    with negative ``step_ns`` (read: "step size", in the series' own
+    units) is a downward shift of the series mean at ``index``.
+    """
+    return detect_latency_steps(
+        series,
+        min_step_ns=min_step,
+        z_threshold=z_threshold,
+        max_steps=max_steps,
+    )

@@ -6,17 +6,30 @@ from long rolling recordings (hours of 100 Gbps traffic) would not fit.
 This module computes the **L and I numerators and denominators in
 constant memory** by scanning two aligned capture streams chunk by chunk.
 
-What streams and what doesn't:
+What streams and what doesn't, *in this module's two-unknown-streams
+regime* (neither capture is held in memory):
 
 * ``U``: streamable here under the *aligned-captures* precondition below
   (counting common packets).
 * ``L``, ``I``: fully streamable — they depend only on per-packet values
   and trial endpoints, both of which accumulate.
-* ``O``: **not** streamable — the LCS is a global property of the whole
-  permutation (any chunking bound can be violated by a single far-moved
-  packet).  :class:`StreamingComparison` does not *compute* O; instead its
-  alignment check **guarantees** O = 0 (aligned captures are the identity
-  permutation), so it reports the exact float ``0.0``.
+* ``O``: not streamable *here* — the LCS is a global property of the
+  whole permutation (any chunking bound can be violated by a single
+  far-moved packet).  :class:`StreamingComparison` does not *compute* O;
+  instead its alignment check **guarantees** O = 0 (aligned captures are
+  the identity permutation), so it reports the exact float ``0.0``.
+
+With a **known baseline**, however, O *does* stream: when trial A is
+fully in memory (the paper's protocol — one recorded baseline, many
+repeats compared against it) each arriving B packet's matching key and
+A-position are final on arrival, and the prefix-patience merge of
+:mod:`repro.parallel.ordershard` keeps the exact serial patience-LIS
+state live at every chunk boundary.
+:class:`repro.analysis.streamkappa.StreamKappa` implements that path —
+all four components, bit-identical to the batch metrics on misordered and
+droppy streams alike (``docs/streaming.md`` has the argument).  This
+module's aligned-only fast path remains the right tool when *neither*
+capture fits in memory and you only need timing consistency.
 
 This follows the :class:`~repro.core.kappa.MetricVector` contract shared
 by every comparison path (batch, streaming, parallel): components are

@@ -6,6 +6,9 @@ Mirrors the artifact's workflow from a shell:
 * ``repro simulate <scenario>`` — run a trial series, print the report,
   optionally save captures;
 * ``repro analyze <dir>`` — Section-3 analysis of saved captures;
+* ``repro monitor <dir>`` — stream the captures through the online κ
+  path: exact streaming metrics per run (:mod:`repro.analysis.streamkappa`)
+  plus windowed κ with live degradation flagging;
 * ``repro table1`` / ``repro table2`` — regenerate the paper's tables;
 * ``repro figure <id>`` — regenerate one figure's series (e.g. ``4a``).
 
@@ -83,6 +86,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("directory")
     p.add_argument("--histograms", action="store_true")
     add_jobs(p)
+
+    p = sub.add_parser(
+        "monitor", help="stream saved captures through the online kappa monitor"
+    )
+    p.add_argument("directory")
+    p.add_argument("--window-ms", type=float, default=10.0, metavar="MS",
+                   help="monitoring window length (default 10 ms)")
+    p.add_argument("--chunk", type=int, default=4096,
+                   help="packets per streamed chunk (default 4096; results "
+                   "are identical at any chunking)")
+    p.add_argument("--kappa-step", type=float, default=0.02, metavar="STEP",
+                   help="smallest windowed-kappa drop flagged as degradation")
+    p.add_argument("--fail-on-degraded", action="store_true",
+                   help="exit 1 if any session degrades")
+    add_obs(p)
 
     p = sub.add_parser("table1", help="regenerate Table 1 (edit-script distances)")
     p.add_argument("--scale", type=float, default=None)
@@ -176,6 +194,61 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_monitor(args) -> int:
+    from .analysis import KappaMonitor, StreamKappa, load_series, render_metric_rows
+
+    trials = load_series(args.directory)
+    if len(trials) < 2:
+        print("monitor: need a baseline plus at least one run", file=sys.stderr)
+        return 2
+    baseline = trials[0]
+    chunk = max(1, args.chunk)
+    mon = KappaMonitor(args.window_ms * 1e6, min_kappa_step=args.kappa_step)
+    rows = []
+    for run in trials[1:]:
+        sid = run.label or f"run{len(rows) + 1}"
+        sk = StreamKappa(baseline, run_label=sid)
+        # Interleave baseline and run chunks, as a live tap would deliver
+        # them; the monitor closes each window once both streams pass it.
+        for lo in range(0, max(len(baseline), len(run)), chunk):
+            if lo < len(baseline):
+                mon.feed_baseline(
+                    sid, baseline.tags[lo : lo + chunk],
+                    baseline.times_ns[lo : lo + chunk],
+                )
+            if lo < len(run):
+                sk.update(run.tags[lo : lo + chunk], run.times_ns[lo : lo + chunk])
+                mon.feed_run(
+                    sid, run.tags[lo : lo + chunk], run.times_ns[lo : lo + chunk]
+                )
+        mon.finish(sid)
+        vec = sk.result()
+        rows.append({
+            "run": sid,
+            "U": vec.u, "O": vec.o, "I": vec.i, "L": vec.l,
+            "kappa": vec.kappa(),
+            "windows": mon.window_count(sid),
+            "degraded": len(mon.degraded.get(sid, [])),
+        })
+    print(
+        f"baseline run: {baseline.label or 'A'}  "
+        f"window: {args.window_ms:g} ms  chunk: {chunk}"
+    )
+    print("streaming metrics (exact, vs baseline):")
+    print(render_metric_rows(
+        rows, columns=["run", "U", "O", "I", "L", "kappa", "windows", "degraded"]
+    ))
+    n_degraded = 0
+    for sid, events in mon.degraded.items():
+        for e in events:
+            n_degraded += 1
+            print(
+                f"degradation: session {sid} window {e.window} "
+                f"kappa {e.kappa_before:.4f} -> {e.kappa_after:.4f}"
+            )
+    return 1 if (args.fail_on_degraded and n_degraded) else 0
+
+
 def _cmd_table1(args) -> int:
     from .experiments import render_table1_text
 
@@ -266,6 +339,7 @@ _COMMANDS = {
     "scenarios": _cmd_scenarios,
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
+    "monitor": _cmd_monitor,
     "table1": _cmd_table1,
     "table2": _cmd_table2,
     "figure": _cmd_figure,

@@ -20,7 +20,7 @@ from .iat import (
     iat_variation,
     max_iat_construction,
 )
-from .kappa import KappaScaling, MetricVector, kappa_from_vector
+from .kappa import KappaScaling, MetricVector, kappa_from_components, kappa_from_vector
 from .kendall import count_inversions, kendall_tau_distance
 from .latency import (
     latency_deltas_ns,
@@ -49,7 +49,7 @@ from .gapreplay import (
 from .reorder import ReorderBySpacing, reorder_probability_by_spacing
 from .report import PairReport, RunSeriesReport, compare_series, compare_trials
 from .trial import Trial
-from .windows import WindowedDeviation, windowed_deviation
+from .windows import WindowedDeviation, deviation_from_deltas, windowed_deviation
 from .uniqueness import uniqueness_variation
 
 __all__ = [
@@ -79,6 +79,7 @@ __all__ = [
     "MetricVector",
     "KappaScaling",
     "kappa_from_vector",
+    "kappa_from_components",
     "count_inversions",
     "kendall_tau_distance",
     "SymlogBins",
@@ -97,4 +98,5 @@ __all__ = [
     "compare_series",
     "WindowedDeviation",
     "windowed_deviation",
+    "deviation_from_deltas",
 ]

@@ -27,7 +27,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["MetricVector", "kappa_from_vector", "KappaScaling"]
+__all__ = [
+    "MetricVector",
+    "kappa_from_vector",
+    "kappa_from_components",
+    "KappaScaling",
+]
 
 
 @dataclass(frozen=True)
@@ -80,15 +85,20 @@ class MetricVector:
 
     **Contract (all comparison paths).**  Every component is a concrete,
     finite float in [0, 1] — never ``None``, never NaN; construction
-    enforces this.  A path that cannot compute a component (e.g. the
-    streaming path, which cannot shard the global-LCS ordering metric)
-    must either *guarantee* the component's value through a checked
-    precondition and report that exact float, or refuse to produce a
-    vector — partially-populated vectors do not exist.  The batch
-    (:func:`repro.core.report.compare_trials`), streaming
-    (:class:`repro.analysis.streaming.StreamingComparison`) and parallel
-    (:class:`repro.parallel.ParallelComparator`) paths all honor this, so
-    their vectors mix freely in series aggregation and rendering.
+    enforces this.  A path that cannot compute a component must either
+    *guarantee* the component's value through a checked precondition and
+    report that exact float, or refuse to produce a vector —
+    partially-populated vectors do not exist.  The batch
+    (:func:`repro.core.report.compare_trials`), parallel
+    (:class:`repro.parallel.ParallelComparator`) and streaming paths all
+    honor this: the known-baseline streaming comparator
+    (:class:`repro.analysis.streamkappa.StreamKappa`) computes every
+    component — including the global-LCS ordering metric, via the
+    incremental prefix-patience merge — exactly, while the aligned-only
+    fast path (:class:`repro.analysis.streaming.StreamingComparison`)
+    *guarantees* U = O = 0 by its checked alignment precondition.
+    Vectors from any path therefore mix freely in series aggregation and
+    rendering.
     """
 
     u: float
@@ -138,3 +148,21 @@ def kappa_from_vector(u: float, o: float, latency: float, iat: float,
                       scaling: KappaScaling | None = None) -> float:
     """Equation 5 from the four component values directly."""
     return MetricVector(u, o, latency, iat).kappa(scaling)
+
+
+def kappa_from_components(
+    u, o, latency, iat, scaling: KappaScaling | None = None
+) -> np.ndarray:
+    """Vectorized Equation 5 over arrays of component values.
+
+    The array twin of :meth:`MetricVector.kappa` for windowed κ series
+    (:mod:`repro.analysis.streamkappa`): one κ per element of the input
+    arrays, identical arithmetic to the scalar path element for element.
+    """
+    u = np.asarray(u, dtype=np.float64)
+    o = np.asarray(o, dtype=np.float64)
+    latency = np.asarray(latency, dtype=np.float64)
+    iat = np.asarray(iat, dtype=np.float64)
+    if scaling is not None:
+        u, o, latency, iat = scaling.apply(u, o, latency, iat)
+    return 1.0 - np.sqrt(u**2 + o**2 + latency**2 + iat**2) / 2.0

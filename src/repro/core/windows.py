@@ -27,7 +27,7 @@ from .latency import latency_deltas_ns
 from .matching import match_trials
 from .trial import Trial
 
-__all__ = ["WindowedDeviation", "windowed_deviation"]
+__all__ = ["WindowedDeviation", "windowed_deviation", "deviation_from_deltas"]
 
 
 @dataclass(frozen=True)
@@ -95,6 +95,64 @@ class WindowedDeviation:
         ]
 
 
+def deviation_from_deltas(
+    rel_baseline_ns: np.ndarray,
+    idx_a: np.ndarray,
+    abs_latency_ns: np.ndarray,
+    abs_iat_ns: np.ndarray,
+    window_ns: float,
+) -> WindowedDeviation:
+    """Assemble the window series from per-common-packet deviations.
+
+    The single aggregation every path runs: the batch driver
+    (:func:`windowed_deviation`) and the streaming comparator
+    (:meth:`repro.analysis.streamkappa.StreamKappa.windowed`) both call
+    this exact function on identically-ordered inputs, so their window
+    series are bit-identical.  ``rel_baseline_ns`` is the *full*
+    baseline's relative timeline; ``idx_a`` the baseline positions of the
+    common packets in A order; the two delta arrays are ``|Δl|`` / ``|Δg|``
+    per common packet, aligned with ``idx_a``.
+    """
+    if window_ns <= 0:
+        raise ValueError("window_ns must be positive")
+    rel = np.asarray(rel_baseline_ns, dtype=np.float64)
+    if rel.shape[0] == 0:
+        raise ValueError("baseline trial is empty")
+    n_windows = int(np.floor(rel[-1] / window_ns)) + 1
+    starts = np.arange(n_windows, dtype=np.float64) * window_ns
+
+    # Window index of every baseline packet; common packets inherit it.
+    win_all = np.minimum((rel / window_ns).astype(np.intp), n_windows - 1)
+    win_common = win_all[idx_a]
+
+    n_common = np.bincount(win_common, minlength=n_windows)
+    sum_l = np.bincount(win_common, weights=abs_latency_ns, minlength=n_windows)
+    sum_g = np.bincount(win_common, weights=abs_iat_ns, minlength=n_windows)
+
+    # Per-window maxima: sort by window, then segmented maximum.
+    max_l = np.zeros(n_windows)
+    max_g = np.zeros(n_windows)
+    if win_common.size:
+        np.maximum.at(max_l, win_common, abs_latency_ns)
+        np.maximum.at(max_g, win_common, abs_iat_ns)
+
+    # Missing baseline packets per window.
+    present = np.zeros(rel.shape[0], dtype=bool)
+    present[idx_a] = True
+    n_missing = np.bincount(win_all[~present], minlength=n_windows)
+
+    return WindowedDeviation(
+        window_ns=float(window_ns),
+        starts_ns=starts,
+        n_common=n_common.astype(np.int64),
+        n_missing=n_missing.astype(np.int64),
+        sum_abs_latency_ns=sum_l,
+        sum_abs_iat_ns=sum_g,
+        max_abs_latency_ns=max_l,
+        max_abs_iat_ns=max_g,
+    )
+
+
 def windowed_deviation(
     baseline: Trial, run: Trial, window_ns: float
 ) -> WindowedDeviation:
@@ -110,40 +168,8 @@ def windowed_deviation(
         raise ValueError("baseline trial is empty")
 
     m = match_trials(baseline, run)
-    rel = baseline.relative_times_ns()
-    n_windows = int(np.floor(rel[-1] / window_ns)) + 1
-    starts = np.arange(n_windows, dtype=np.float64) * window_ns
-
-    # Window index of every baseline packet; common packets inherit it.
-    win_all = np.minimum((rel / window_ns).astype(np.intp), n_windows - 1)
-    win_common = win_all[m.idx_a]
-
     dl = np.abs(latency_deltas_ns(baseline, run, matching=m))
     dg = np.abs(iat_deltas_ns(baseline, run, matching=m))
-
-    n_common = np.bincount(win_common, minlength=n_windows)
-    sum_l = np.bincount(win_common, weights=dl, minlength=n_windows)
-    sum_g = np.bincount(win_common, weights=dg, minlength=n_windows)
-
-    # Per-window maxima: sort by window, then segmented maximum.
-    max_l = np.zeros(n_windows)
-    max_g = np.zeros(n_windows)
-    if win_common.size:
-        np.maximum.at(max_l, win_common, dl)
-        np.maximum.at(max_g, win_common, dg)
-
-    # Missing baseline packets per window.
-    present = np.zeros(len(baseline), dtype=bool)
-    present[m.idx_a] = True
-    n_missing = np.bincount(win_all[~present], minlength=n_windows)
-
-    return WindowedDeviation(
-        window_ns=float(window_ns),
-        starts_ns=starts,
-        n_common=n_common.astype(np.int64),
-        n_missing=n_missing.astype(np.int64),
-        sum_abs_latency_ns=sum_l,
-        sum_abs_iat_ns=sum_g,
-        max_abs_latency_ns=max_l,
-        max_abs_iat_ns=max_g,
+    return deviation_from_deltas(
+        baseline.relative_times_ns(), m.idx_a, dl, dg, window_ns
     )

@@ -46,8 +46,10 @@ from .ordershard import (
     edit_script_from_matching_sharded,
     lis_mask_sharded,
     mask_from_state,
+    merge_block_inplace,
     merge_blocks,
     patience_block,
+    patience_block_values,
     plan_order_blocks,
 )
 from .partials import MergedTimings, ShardPartial, compute_shard_partial, merge_partials
@@ -73,7 +75,9 @@ __all__ = [
     "edit_script_from_matching_sharded",
     "lis_mask_sharded",
     "patience_block",
+    "patience_block_values",
     "merge_blocks",
+    "merge_block_inplace",
     "mask_from_state",
     "plan_order_blocks",
     "PatienceBlock",

@@ -71,6 +71,16 @@ Transport mirrors the rest of the engine: workers read the permutation
 from shared memory and write predecessor links and pile tails into
 pre-offset slices of shared output buffers; only ``(lo, hi, length,
 vmin, vmax)`` scalars cross the pickle boundary.
+
+The same construction doubles as an **incremental LIS**: because the
+merge's invariant is "accumulated state == serial state over the
+processed prefix", feeding blocks one at a time — each arriving chunk of
+a stream becomes a :func:`patience_block_values` block folded in via
+:func:`merge_block_inplace` — keeps the exact serial patience state live
+at every chunk boundary.  That is what makes the ordering metric ``O``
+streamable (:mod:`repro.analysis.streamkappa`); the state grows by
+amortized doubling (:meth:`PatienceState.ensure_capacity`) since a
+stream's final length is unknown.
 """
 
 from __future__ import annotations
@@ -103,7 +113,9 @@ __all__ = [
     "PatienceBlock",
     "PatienceState",
     "patience_block",
+    "patience_block_values",
     "merge_blocks",
+    "merge_block_inplace",
     "mask_from_state",
     "plan_order_blocks",
     "lis_mask_sharded",
@@ -185,10 +197,39 @@ class PatienceState:
             replayed=self.replayed,
         )
 
+    def ensure_capacity(self, n_new: int) -> None:
+        """Grow the preallocated arrays to hold ``n_new`` rows.
 
-def patience_block(seq: np.ndarray, lo: int, hi: int) -> PatienceBlock:
-    """Run the canonical patience loop over ``seq[lo:hi]`` in isolation."""
-    seg = np.asarray(seq)[lo:hi]
+        The batch path knows the permutation length up front and never
+        needs this; the streaming driver
+        (:mod:`repro.analysis.streamkappa`) appends blocks to an
+        open-ended prefix, so capacity grows by amortized doubling.
+        Growth never touches the valid prefixes (``tails_*[:tlen]``,
+        ``prev[:hi]``), so a grown state is the same serial state.
+        """
+        if n_new <= self.n:
+            return
+        cap = max(int(n_new), 2 * self.n, 16)
+        tails_vals = np.empty(cap, dtype=np.int64)
+        tails_vals[: self.tlen] = self.tails_vals[: self.tlen]
+        tails_idx = np.empty(cap, dtype=np.int64)
+        tails_idx[: self.tlen] = self.tails_idx[: self.tlen]
+        prev = np.full(cap, -1, dtype=np.intp)
+        prev[: self.hi] = self.prev[: self.hi]
+        self.tails_vals, self.tails_idx, self.prev = tails_vals, tails_idx, prev
+        self.n = cap
+
+
+def patience_block_values(values: np.ndarray, lo: int) -> PatienceBlock:
+    """Run the canonical patience loop over a chunk of raw values.
+
+    ``values`` are the block's elements (rows ``[lo, lo + len(values))``
+    of the conceptual full permutation).  This is the entry point for
+    callers that never materialize the whole sequence — the streaming
+    comparator feeds each arriving chunk here; :func:`patience_block`
+    delegates for the batch path.
+    """
+    seg = np.asarray(values)
     n_local = seg.shape[0]
     if n_local == 0:
         raise ValueError("ordering blocks must be non-empty")
@@ -198,13 +239,84 @@ def patience_block(seq: np.ndarray, lo: int, hi: int) -> PatienceBlock:
     patience_fill(seg.tolist(), tails_vals, tails_idx, prev, offset=lo)
     return PatienceBlock(
         lo=int(lo),
-        hi=int(hi),
+        hi=int(lo) + n_local,
         tails_vals=np.asarray(tails_vals, dtype=np.int64),
         tails_idx=np.asarray(tails_idx, dtype=np.int64),
         prev=prev,
         vmin=int(seg.min()),
         vmax=int(seg.max()),
     )
+
+
+def patience_block(seq: np.ndarray, lo: int, hi: int) -> PatienceBlock:
+    """Run the canonical patience loop over ``seq[lo:hi]`` in isolation."""
+    return patience_block_values(np.asarray(seq)[lo:hi], lo)
+
+
+def merge_block_inplace(
+    st: PatienceState, blk: PatienceBlock, block_values: np.ndarray
+) -> None:
+    """Fold one block into ``st`` in place: the single merge step.
+
+    ``block_values`` are the block's raw elements (``seq[blk.lo:blk.hi]``
+    for a materialized sequence) — read only on the replay fallback.
+    Mutating in place is what makes the streaming driver O(chunk) per
+    chunk: the batch :func:`merge_blocks` wrapper preserves its
+    copy-on-entry contract on top of this.
+    """
+    if blk.lo != st.hi:
+        raise ValueError(
+            f"blocks must tile the prefix contiguously: expected a block "
+            f"at row {st.hi}, got [{blk.lo}, {blk.hi})"
+        )
+    st.ensure_capacity(blk.hi)
+    tails_vals, tails_idx, prev = st.tails_vals, st.tails_idx, st.prev
+    tlen = st.tlen
+    # searchsorted(side="left") == bisect_left, on the valid prefix.
+    c = int(np.searchsorted(tails_vals[:tlen], blk.vmin, side="left"))
+    if c == tlen or blk.vmax <= tails_vals[c]:
+        # Splice: the block's replay provably stays inside the pile
+        # gap at c (see module docstring), so its local state drops
+        # in as a pure array copy.  Piles at and above c + length
+        # keep their tails — no block element can reach them.
+        length = blk.length
+        tails_vals[c : c + length] = blk.tails_vals
+        tails_idx[c : c + length] = blk.tails_idx
+        block_prev = blk.prev
+        if c > 0:
+            # Local pile-0 elements extend the fixed accumulated pile
+            # c-1; its tail cannot move while this block replays.
+            block_prev = np.where(blk.prev == -1, tails_idx[c - 1], blk.prev)
+        prev[blk.lo : blk.hi] = block_prev
+        st.tlen = max(tlen, c + length)
+        st.spliced += 1
+    else:
+        # Replay — but only against the tails suffix the block can
+        # touch: every element's value is >= vmin > tails_vals[c-1],
+        # so its pile index is at least c and piles below c are
+        # read-only.  Running the canonical loop on the suffix is the
+        # serial algorithm with pile indices shifted by c; elements
+        # landing on suffix pile 0 (global pile c) keep the -1
+        # sentinel and get the fixed pile-(c-1) tail as predecessor,
+        # exactly as in the splice move.
+        sub_vals = tails_vals[c:tlen].tolist()
+        sub_idx = tails_idx[c:tlen].tolist()
+        prev_slice = prev[blk.lo : blk.hi]
+        patience_fill(
+            np.asarray(block_values).tolist(),
+            sub_vals,
+            sub_idx,
+            prev_slice,
+            offset=blk.lo,
+        )
+        if c > 0:
+            np.copyto(prev_slice, tails_idx[c - 1], where=prev_slice == -1)
+        new_len = len(sub_vals)  # patience never shrinks the pile count
+        tails_vals[c : c + new_len] = sub_vals
+        tails_idx[c : c + new_len] = sub_idx
+        st.tlen = c + new_len
+        st.replayed += 1
+    st.hi = blk.hi
 
 
 def merge_blocks(
@@ -223,59 +335,8 @@ def merge_blocks(
     """
     seq = np.asarray(seq)
     st = PatienceState(n=seq.shape[0]) if state is None else state.copy()
-    tails_vals, tails_idx, prev = st.tails_vals, st.tails_idx, st.prev
     for blk in blocks:
-        if blk.lo != st.hi:
-            raise ValueError(
-                f"blocks must tile the prefix contiguously: expected a block "
-                f"at row {st.hi}, got [{blk.lo}, {blk.hi})"
-            )
-        tlen = st.tlen
-        # searchsorted(side="left") == bisect_left, on the valid prefix.
-        c = int(np.searchsorted(tails_vals[:tlen], blk.vmin, side="left"))
-        if c == tlen or blk.vmax <= tails_vals[c]:
-            # Splice: the block's replay provably stays inside the pile
-            # gap at c (see module docstring), so its local state drops
-            # in as a pure array copy.  Piles at and above c + length
-            # keep their tails — no block element can reach them.
-            length = blk.length
-            tails_vals[c : c + length] = blk.tails_vals
-            tails_idx[c : c + length] = blk.tails_idx
-            block_prev = blk.prev
-            if c > 0:
-                # Local pile-0 elements extend the fixed accumulated pile
-                # c-1; its tail cannot move while this block replays.
-                block_prev = np.where(blk.prev == -1, tails_idx[c - 1], blk.prev)
-            prev[blk.lo : blk.hi] = block_prev
-            st.tlen = max(tlen, c + length)
-            st.spliced += 1
-        else:
-            # Replay — but only against the tails suffix the block can
-            # touch: every element's value is >= vmin > tails_vals[c-1],
-            # so its pile index is at least c and piles below c are
-            # read-only.  Running the canonical loop on the suffix is the
-            # serial algorithm with pile indices shifted by c; elements
-            # landing on suffix pile 0 (global pile c) keep the -1
-            # sentinel and get the fixed pile-(c-1) tail as predecessor,
-            # exactly as in the splice move.
-            sub_vals = tails_vals[c:tlen].tolist()
-            sub_idx = tails_idx[c:tlen].tolist()
-            prev_slice = prev[blk.lo : blk.hi]
-            patience_fill(
-                seq[blk.lo : blk.hi].tolist(),
-                sub_vals,
-                sub_idx,
-                prev_slice,
-                offset=blk.lo,
-            )
-            if c > 0:
-                np.copyto(prev_slice, tails_idx[c - 1], where=prev_slice == -1)
-            new_len = len(sub_vals)  # patience never shrinks the pile count
-            tails_vals[c : c + new_len] = sub_vals
-            tails_idx[c : c + new_len] = sub_idx
-            st.tlen = c + new_len
-            st.replayed += 1
-        st.hi = blk.hi
+        merge_block_inplace(st, blk, seq[blk.lo : blk.hi])
     # Observability only: how the merge went, never what it produced.
     # Deltas against the input state, so resumed prefix-merges (tests
     # reassociate them) don't recount earlier calls' moves.

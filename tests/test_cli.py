@@ -18,6 +18,13 @@ class TestParser:
         assert p.parse_args(["analyze", "/tmp/x"]).directory == "/tmp/x"
         assert p.parse_args(["table2", "--no-paper"]).no_paper
         assert p.parse_args(["figure", "4a"]).figure_id == "4a"
+        args = p.parse_args([
+            "monitor", "/tmp/x", "--window-ms", "2.5",
+            "--chunk", "512", "--kappa-step", "0.05", "--fail-on-degraded",
+        ])
+        assert args.directory == "/tmp/x" and args.window_ms == 2.5
+        assert args.chunk == 512 and args.kappa_step == 0.05
+        assert args.fail_on_degraded
 
 
 class TestCommands:
@@ -39,6 +46,30 @@ class TestCommands:
         assert main(["analyze", out_dir]) == 0
         ana_out = capsys.readouterr().out
         assert "kappa" in ana_out
+
+    def test_monitor_on_saved_captures(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "caps")
+        assert main([
+            "simulate", "local-single", "--runs", "2",
+            "--scale", "0.01", "-o", out_dir,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["monitor", out_dir, "--window-ms", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "streaming metrics" in out
+        assert "kappa" in out
+        assert "windows" in out
+
+    def test_monitor_needs_two_captures(self, capsys, tmp_path):
+        from repro.analysis import save_series
+        from repro.core import Trial
+
+        import numpy as np
+
+        t = Trial(np.arange(5, dtype=np.int64), np.arange(5.0), label="only")
+        save_series([t], tmp_path / "one")
+        assert main(["monitor", str(tmp_path / "one")]) == 2
+        assert "at least one run" in capsys.readouterr().err
 
     def test_simulate_unknown_scenario(self):
         with pytest.raises(KeyError, match="valid keys"):

@@ -16,10 +16,11 @@ import pytest
 
 from repro.analysis import stream_compare
 from repro.analysis.streaming import StreamingComparison
-from repro.core import MetricVector, compare_trials
+from repro.analysis.streamkappa import KappaMonitor, StreamKappa
+from repro.core import MetricVector, Trial, compare_trials
 from repro.parallel import compare_trials_parallel
 
-from .conftest import comb_trial, make_trial
+from .conftest import comb_trial, make_trial, suite_rng
 
 
 def assert_contract(vec: MetricVector):
@@ -62,6 +63,70 @@ class TestAllPathsReturnFloats:
         # which is exactly the aligned regime streaming requires
         b = make_trial(np.sort(times + rng.normal(0.0, 4.0, size=300)))
         assert stream_compare(a, b, chunk=64) == compare_trials(a, b).metrics
+
+
+class TestStreamKappaContract:
+    """The streaming-O path computes every component — and still returns
+    only concrete finite floats in [0, 1], like every other path."""
+
+    def _messy_pair(self, salt):
+        rng = suite_rng(salt)
+        n = 150
+        tags = rng.integers(0, 12, size=n).astype(np.int64)
+        times = np.cumsum(rng.exponential(100.0, size=n))
+        a = make_trial(times, tags)
+        keep = rng.random(n) > 0.1
+        bt = times[keep] + rng.normal(0.0, 400.0, size=int(keep.sum()))
+        return a, Trial.from_arrival_events(tags[keep], bt)
+
+    def test_streaming_o_path_computes_o_as_float(self):
+        """O is *computed* here (nonzero on reordered input), not guaranteed."""
+        a, b = self._messy_pair(901)
+        sk = StreamKappa(a)
+        for lo in range(0, len(b), 17):
+            sk.update(b.tags[lo : lo + 17], b.times_ns[lo : lo + 17])
+            assert_contract(sk.result())  # holds at every chunk boundary
+        vec = sk.result()
+        assert_contract(vec)
+        assert vec.o > 0.0  # a genuinely misordered stream: O was computed
+
+    def test_empty_stream(self):
+        a, _ = self._messy_pair(902)
+        assert_contract(StreamKappa(a).result())
+
+    def test_empty_baseline(self):
+        _, b = self._messy_pair(903)
+        sk = StreamKappa(Trial(np.empty(0, dtype=np.int64), np.empty(0)))
+        sk.update(b.tags, b.times_ns)
+        assert_contract(sk.result())
+
+    def test_monitor_window_vectors(self):
+        """Every WindowReport vector obeys the contract, empty windows too."""
+        a, b = self._messy_pair(904)
+        mon = KappaMonitor(a.duration_ns / 6, min_windows=4)
+        reports = []
+        reports += mon.feed_baseline("s", a.tags, a.times_ns)
+        # A mid-stream gap leaves at least one window with no run packets.
+        half = len(b) // 2
+        reports += mon.feed_run("s", b.tags[:half], b.times_ns[:half])
+        reports += mon.feed_run(
+            "s", b.tags[half:], b.times_ns[half:] + 3 * a.duration_ns
+        )
+        reports += mon.finish("s")
+        assert reports
+        for rep in reports:
+            assert_contract(rep.vector)
+            assert isinstance(rep.kappa, float) and np.isfinite(rep.kappa)
+
+    def test_aligned_only_fast_path_still_rejects_misorder(self):
+        """Lifting the O restriction did not relax the old fast path: the
+        aligned-captures precondition still raises on misordered input."""
+        a, _ = self._messy_pair(905)
+        sc = StreamingComparison()
+        swapped = a.tags.copy()
+        swapped[0], swapped[1] = swapped[1], swapped[0]
+        with pytest.raises(ValueError, match="not packet-aligned"):
+            sc.update(a.tags, a.times_ns, swapped, a.times_ns)
 
 
 class TestVectorRejectsNonContract:

@@ -1,0 +1,196 @@
+"""Chunk-boundary invariance of the streaming κ path.
+
+The whole point of :mod:`repro.analysis.streamkappa` is that chunk
+boundaries are an artifact of transport, not of the metrics: *any*
+chunking of the same packet stream — sizes 1, 2, a prime, n−1, n, and
+random splits — must produce a bit-identical final
+:class:`~repro.core.kappa.MetricVector`, an identical per-window deviation
+series, and an identical monitor κ series.  On top of invariance, the
+running result is pinned to be *prefix-exact*: at every chunk boundary
+``StreamKappa.result()`` equals the batch ``compare_trials`` on the prefix
+consumed so far, which is the stronger property the invariance follows
+from.
+
+Seeded via the ``REPRO_TEST_SEED`` conftest machinery; ``REPRO_STREAM_CHUNK``
+adds one more chunk size to the grid (the CI matrix uses 4096/65536).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.streamkappa import KappaMonitor, StreamKappa
+from repro.core import Trial, compare_trials, windowed_deviation
+
+from .conftest import make_trial, suite_rng
+
+_WINDOW_FIELDS = (
+    "starts_ns", "n_common", "n_missing", "sum_abs_latency_ns",
+    "sum_abs_iat_ns", "max_abs_latency_ns", "max_abs_iat_ns",
+)
+
+
+def _env_chunk() -> list[int]:
+    raw = os.environ.get("REPRO_STREAM_CHUNK", "")
+    return [int(raw)] if raw.strip() else []
+
+
+def chunkings(n: int, rng: np.random.Generator) -> list[list[int]]:
+    """The ISSUE grid: 1, 2, a prime, n−1, n, plus random splits."""
+    sizes = sorted({1, 2, 13, max(1, n - 1), n, *_env_chunk()})
+    plans = []
+    for size in sizes:
+        full, rem = divmod(n, size)
+        plans.append([size] * full + ([rem] if rem else []))
+    for _ in range(3):
+        cuts = np.sort(rng.choice(np.arange(1, n), size=min(9, n - 1), replace=False))
+        bounds = np.concatenate([[0], cuts, [n]])
+        plans.append(np.diff(bounds).tolist())
+    return plans
+
+
+def feed(baseline: Trial, run: Trial, plan: list[int]) -> StreamKappa:
+    """Stream ``run`` into a fresh comparator under one chunking plan."""
+    sk = StreamKappa(baseline)
+    lo = 0
+    for size in plan:
+        sk.update(run.tags[lo : lo + size], run.times_ns[lo : lo + size])
+        lo += size
+    assert lo == len(run)
+    return sk
+
+
+def messy_pair(n: int, salt: int) -> tuple[Trial, Trial]:
+    """A droppy, jittered, duplicate-tagged pair — nothing aligned."""
+    rng = suite_rng(salt)
+    tags = rng.integers(0, max(4, n // 3), size=n).astype(np.int64)
+    times = np.cumsum(rng.exponential(120.0, size=n))
+    a = make_trial(times, tags, label="A")
+    keep = rng.random(n) > 0.08
+    bt = times[keep] + rng.normal(0.0, 300.0, size=int(keep.sum()))
+    extra = rng.integers(10_000, 10_008, size=max(2, n // 20)).astype(np.int64)
+    extra_t = rng.uniform(times[0], times[-1], size=extra.shape[0])
+    b = Trial.from_arrival_events(
+        np.concatenate([tags[keep], extra]),
+        np.concatenate([bt, extra_t]),
+        label="B",
+    )
+    return a, b
+
+
+class TestFinalVectorInvariance:
+    @pytest.mark.parametrize("n,salt", [(60, 1), (173, 2), (240, 3)])
+    def test_any_chunking_same_vector(self, n, salt):
+        a, b = messy_pair(n, salt)
+        rng = suite_rng(salt + 50)
+        want = feed(a, b, [len(b)]).result()
+        for plan in chunkings(len(b), rng):
+            got = feed(a, b, plan).result()
+            # Bit-identical: dataclass equality compares the raw floats.
+            assert got == want, plan
+
+    def test_matches_batch_exactly(self):
+        a, b = messy_pair(200, 7)
+        want = compare_trials(a, b).metrics
+        for plan in ([len(b)], [1] * len(b), [13] * (len(b) // 13) + [len(b) % 13]):
+            assert feed(a, b, [c for c in plan if c]).result() == want
+
+
+class TestPerWindowSeriesInvariance:
+    def test_windowed_series_identical(self):
+        a, b = messy_pair(180, 11)
+        rng = suite_rng(61)
+        window_ns = a.duration_ns / 7
+        want = feed(a, b, [len(b)]).windowed(window_ns)
+        for plan in chunkings(len(b), rng):
+            got = feed(a, b, plan).windowed(window_ns)
+            for f in _WINDOW_FIELDS:
+                assert np.array_equal(getattr(got, f), getattr(want, f)), (plan, f)
+
+    def test_windowed_series_matches_batch(self):
+        a, b = messy_pair(180, 12)
+        window_ns = a.duration_ns / 5
+        got = feed(a, b, [17] * (len(b) // 17) + [len(b) % 17]).windowed(window_ns)
+        want = windowed_deviation(a, b, window_ns)
+        for f in _WINDOW_FIELDS:
+            assert np.array_equal(getattr(got, f), getattr(want, f)), f
+
+
+class TestPrefixExactness:
+    """The stronger property: the running result is the batch result of
+    the consumed prefix at *every* chunk boundary, not only at the end."""
+
+    def test_result_equals_batch_on_every_prefix(self):
+        a, b = messy_pair(140, 21)
+        sk = StreamKappa(a)
+        step = 17
+        for lo in range(0, len(b), step):
+            hi = min(lo + step, len(b))
+            sk.update(b.tags[lo:hi], b.times_ns[lo:hi])
+            prefix = Trial(b.tags[:hi], b.times_ns[:hi])
+            assert sk.result() == compare_trials(a, prefix).metrics, hi
+
+    def test_empty_stream_is_batch_empty(self):
+        a, _ = messy_pair(50, 22)
+        empty = Trial(np.empty(0, np.int64), np.empty(0))
+        assert StreamKappa(a).result() == compare_trials(a, empty).metrics
+
+
+class TestMonitorSeriesInvariance:
+    def _monitor_series(self, a, b, window_ns, plan_a, plan_b):
+        mon = KappaMonitor(window_ns, min_windows=4)
+        la = lb = 0
+        for ca, cb in zip(plan_a, plan_b):
+            if la < len(a):
+                mon.feed_baseline("s", a.tags[la : la + ca], a.times_ns[la : la + ca])
+                la += ca
+            if lb < len(b):
+                mon.feed_run("s", b.tags[lb : lb + cb], b.times_ns[lb : lb + cb])
+                lb += cb
+        while la < len(a):
+            mon.feed_baseline("s", a.tags[la : la + 1], a.times_ns[la : la + 1])
+            la += 1
+        while lb < len(b):
+            mon.feed_run("s", b.tags[lb : lb + 1], b.times_ns[lb : lb + 1])
+            lb += 1
+        mon.finish("s")
+        return mon.kappa_history("s")
+
+    def test_monitor_kappa_series_chunking_invariant(self):
+        a, b = messy_pair(260, 31)
+        window_ns = a.duration_ns / 10
+        want = self._monitor_series(a, b, window_ns, [len(a)], [len(b)])
+        for size in (1, 2, 13, len(b) - 1, *_env_chunk()):
+            plan = [size] * (max(len(a), len(b)) // size + 1)
+            got = self._monitor_series(a, b, window_ns, plan, plan)
+            assert np.array_equal(got, want), size
+
+
+class TestStreamValidation:
+    def test_rejects_backwards_time_within_chunk(self):
+        a, _ = messy_pair(20, 41)
+        sk = StreamKappa(a)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            sk.update([1, 2], [50.0, 10.0])
+
+    def test_rejects_backwards_time_across_chunks(self):
+        a, _ = messy_pair(20, 42)
+        sk = StreamKappa(a)
+        sk.update([1], [100.0])
+        with pytest.raises(ValueError, match="non-decreasing"):
+            sk.update([2], [50.0])
+
+    def test_rejects_length_mismatch(self):
+        a, _ = messy_pair(20, 43)
+        with pytest.raises(ValueError, match="equal-length"):
+            StreamKappa(a).update([1, 2], [10.0])
+
+    def test_empty_chunk_is_noop(self):
+        a, b = messy_pair(30, 44)
+        sk = feed(a, b, [len(b)])
+        want = sk.result()
+        sk.update(np.empty(0, np.int64), np.empty(0))
+        assert sk.result() == want

@@ -8,22 +8,58 @@ tables.  One document per benchmark, fixed schema::
     {
       "bench": "<benchmark name>",
       "params": {...},        # workload knobs: sizes, seeds, core count
+      "host": {...},          # measurement context: cores, start method
       "wall_s": <float>,      # the headline wall time (serial reference)
       "per_stage": {...}      # stage/config name -> seconds
     }
 
 ``params`` must name every seed the workload consumed, so an emitted
 artifact is self-describing the same way the ``--trace`` files are (the
-seed discipline of tests/conftest.py).  :func:`bench_document` validates
-the shape; :func:`write_bench_json` writes it.
+seed discipline of tests/conftest.py).  ``host`` is injected
+automatically (:func:`host_info`): a speedup number is meaningless
+without the usable core count it was measured under — a jobs=2 run on a
+1-core box records *why* it cannot beat serial, and the CI perf gates
+condition on exactly this field rather than pretending every runner has
+cores to spare.  :func:`bench_document` validates the shape;
+:func:`write_bench_json` writes it.
 """
 
 from __future__ import annotations
 
 import json
+import multiprocessing
+import os
 from pathlib import Path
 
-__all__ = ["bench_document", "write_bench_json"]
+__all__ = ["bench_document", "write_bench_json", "host_info", "usable_cores"]
+
+
+def usable_cores() -> int:
+    """Cores this process may actually schedule on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def host_info() -> dict:
+    """The measurement context recorded in every benchmark JSON."""
+    try:
+        affinity = sorted(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        affinity = list(range(os.cpu_count() or 1))
+    try:
+        from repro.parallel.pool import pool_start_method
+
+        start_method = pool_start_method()
+    except Exception:  # pragma: no cover - repro not importable
+        start_method = multiprocessing.get_start_method()
+    return {
+        "usable_cores": usable_cores(),
+        "cpu_count": os.cpu_count() or 1,
+        "cpu_affinity": affinity,
+        "pool_start_method": start_method,
+    }
 
 
 def bench_document(
@@ -46,6 +82,7 @@ def bench_document(
     return {
         "bench": bench,
         "params": dict(params),
+        "host": host_info(),
         "wall_s": wall_s,
         "per_stage": stages,
     }

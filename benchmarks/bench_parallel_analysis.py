@@ -22,6 +22,16 @@ with many cores; the point of the sharding is that the *patience loop*
 (the dominant term) parallelizes and the blocks overlap the timing
 shards.
 
+The fused timing kernel gets its own stage table
+(``test_fused_kernel_stage_table``): the single-pass
+:func:`repro.core.fusedpass.fused_timings` against the pre-fusion
+per-component passes it replaced, plus a jobs=2 steady-state parity
+measurement of the engine (batched dispatch + forkserver + segment
+reuse).  Gates: the fused path must stay within 10% of the component
+passes in every mode (regression guard), jobs=2 must reach serial parity
+when the runner actually has a second core, and in full mode the serial
+comparison must beat the recorded pre-fusion baseline by >= 1.25x.
+
 ``REPRO_BENCH_SMOKE=1`` (CI) shrinks the pair to ~220k packets, skips
 the full engine sweep, and turns the ordering table into a regression
 gate: the sharded in-process ordering stage must stay within 10% of the
@@ -40,6 +50,16 @@ from repro.parallel import ParallelComparator
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
 N = 221_000 if SMOKE else 1_055_648  # full: the paper's Section-6.1 capture size
 JOB_COUNTS = (1, 2, 4, 8)
+
+#: Serial wall time of this pair before the fused kernel and the
+#: single-argsort/patience-fast-path rewrites (benchmarks/out/
+#: parallel_analysis.json as of the observability PR), measured on the
+#: same reference container the full benches regenerate artifacts on.
+#: The full-mode gate below holds the optimized serial path to >= 1.25x
+#: against it; smoke mode (CI, heterogeneous runners) gates ratios
+#: measured in-run instead of absolute numbers from another machine.
+PREFUSION_SERIAL_S = 0.926
+FUSED_SPEEDUP_FLOOR = 1.25
 
 
 def _paper_scale_pair(seed=0, n=N):
@@ -123,6 +143,119 @@ def _best_of(k, fn):
         fn()
         best = min(best, time.perf_counter() - t0)
     return best
+
+
+def test_fused_kernel_stage_table(once, emit, emit_json):
+    """Fused timing kernel vs the per-component passes it replaced."""
+    from repro.core import SymlogBins
+    from repro.core.fusedpass import fused_timings
+    from repro.core.histograms import DeltaHistogram, pct_within
+    from repro.core.iat import iat_deltas_ns, iat_from_matching
+    from repro.core.latency import latency_deltas_ns, latency_from_matching
+    from repro.core.matching import match_trials
+
+    a, b = _paper_scale_pair()
+    usable_cores = len(os.sched_getaffinity(0))
+    bins = SymlogBins()
+    reps = 3 if SMOKE else 5
+
+    def sweep():
+        m = match_trials(a, b)
+
+        def components():
+            # The pre-fusion timing side of compare_trials, pass for
+            # pass: two reduction gathers (L, I), two figure-series
+            # gathers, the ±10 ns scan and both histogram passes.
+            latency_from_matching(a, b, m)
+            iat_from_matching(a, b, m)
+            dl = latency_deltas_ns(a, b, matching=m)
+            dg = iat_deltas_ns(a, b, matching=m)
+            pct_within(dg, 10.0)
+            DeltaHistogram.from_deltas(dg, bins)
+            DeltaHistogram.from_deltas(dl, bins)
+
+        components()  # warm
+        fused_timings(a, b, m, bins=bins)
+        components_s = _best_of(reps, components)
+        fused_s = _best_of(reps, lambda: fused_timings(a, b, m, bins=bins))
+        match_s = _best_of(reps, lambda: match_trials(a, b))
+
+        want = compare_trials(a, b)  # warm
+        serial_s = _best_of(reps, lambda: compare_trials(a, b))
+
+        # jobs=2 steady state: batched dispatch, forkserver workers,
+        # reused segments.  Pool startup is measured by the sim bench;
+        # here the question is whether a warm two-worker engine holds
+        # parity with the fused serial path.
+        with ParallelComparator(jobs=2) as pc:
+            _assert_exact(pc.compare(a, b), want)  # warm pool + exactness
+            jobs2_s = _best_of(reps, lambda: pc.compare(a, b))
+        return match_s, components_s, fused_s, serial_s, jobs2_s
+
+    match_s, components_s, fused_s, serial_s, jobs2_s = once(sweep)
+
+    lines = [
+        f"fused timing kernel, n={N} packets "
+        f"({usable_cores} usable cores{', smoke' if SMOKE else ''})",
+        f"{'stage':>22s}  {'seconds':>8s}",
+        f"{'match':>22s}  {match_s:8.3f}",
+        f"{'timing (components)':>22s}  {components_s:8.3f}",
+        f"{'timing (fused)':>22s}  {fused_s:8.3f}",
+        f"{'serial compare_trials':>22s}  {serial_s:8.3f}",
+        f"{'jobs=2 compare':>22s}  {jobs2_s:8.3f}",
+        "",
+        f"fused vs components: {components_s / fused_s:.2f}x; "
+        f"jobs=2 vs serial: {serial_s / jobs2_s:.2f}x",
+    ]
+    if not SMOKE:
+        lines.append(
+            f"serial vs pre-fusion reference ({PREFUSION_SERIAL_S:.3f}s): "
+            f"{PREFUSION_SERIAL_S / serial_s:.2f}x"
+        )
+    lines.append("fused kernel verified bit-identical by tests/test_fusedpass.py")
+    emit("fused_kernel", "\n".join(lines))
+    emit_json(
+        "fused_kernel",
+        {
+            "n_packets": N,
+            "seed": 0,
+            "usable_cores": usable_cores,
+            "smoke": SMOKE,
+            "prefusion_serial_s": PREFUSION_SERIAL_S,
+        },
+        serial_s,
+        {
+            "match": match_s,
+            "timing_components": components_s,
+            "timing_fused": fused_s,
+            "serial_compare": serial_s,
+            "jobs2_compare": jobs2_s,
+        },
+    )
+
+    # Regression guard (the CI fused-smoke gate): the fused single pass
+    # must never fall more than 10% behind the component passes it fused.
+    assert fused_s <= components_s * 1.10, (
+        f"fused kernel regressed: {fused_s:.4f}s vs components "
+        f"{components_s:.4f}s ({fused_s / components_s:.2f}x)"
+    )
+
+    # Parity gate: with the fan-out fixed costs cut, two workers must not
+    # lose to one process — but only where a second core exists; on a
+    # 1-core runner the JSON records why (host.usable_cores).  5% noise
+    # allowance: parity, not speedup, is the claim.
+    if usable_cores >= 2:
+        assert jobs2_s <= serial_s * 1.05, (
+            f"jobs=2 below serial parity on {usable_cores} cores: "
+            f"{jobs2_s:.3f}s vs serial {serial_s:.3f}s"
+        )
+
+    if not SMOKE:
+        assert serial_s * FUSED_SPEEDUP_FLOOR <= PREFUSION_SERIAL_S, (
+            f"fused serial must be >= {FUSED_SPEEDUP_FLOOR}x the pre-fusion "
+            f"baseline: {serial_s:.3f}s vs {PREFUSION_SERIAL_S:.3f}s "
+            f"({PREFUSION_SERIAL_S / serial_s:.2f}x)"
+        )
 
 
 def test_ordering_stage_scaling(once, emit, emit_json):
@@ -222,9 +355,14 @@ def test_ordering_stage_scaling(once, emit, emit_json):
         )
 
     # Regression gate (the CI smoke check): the in-process sharded path —
-    # identical block pipeline, no pool — must stay within 10% of serial.
+    # identical block pipeline, no pool — must stay close to serial.  The
+    # bound was 10% when the serial patience loop dominated at ~0.6 us/row;
+    # the append fast path and the pointer-doubling walk have since cut
+    # serial ~5x, so the merge's fixed milliseconds weigh proportionally
+    # more against a much faster baseline.  25% of the new serial wall is
+    # still several times less absolute overhead than the old 10% was.
     overhead = sharded_walls[1] / serial_s
-    assert overhead <= 1.10, (
+    assert overhead <= 1.25, (
         f"sharded ordering regressed: {overhead:.2f}x serial "
         f"({sharded_walls[1]:.3f}s vs {serial_s:.3f}s)"
     )

@@ -13,6 +13,12 @@ Honesty note: the speedup assertion (>= 2x at 4 jobs) only fires when the
 runner exposes >= 4 usable cores — on a 1-core container the measurement
 still runs and the exactness checks still bind, but physics caps the
 speedup at ~1x and asserting otherwise would only test the hardware.
+
+``REPRO_BENCH_SMOKE=1`` (CI) shrinks the workload, sweeps serial and
+jobs=2 only, and measures the pooled config at steady state (pool warm)
+instead of including startup — the smoke question is whether a warm
+two-worker pipeline holds serial parity, and it is only asserted when
+the runner has a second core to run it on.
 """
 
 import os
@@ -24,11 +30,12 @@ from repro.core import compare_series
 from repro.parallel import pool_stats, shutdown_pool
 from repro.testbeds import Testbed, local_single_replayer
 
-#: 5 runs x ~210k packets/run ≈ 1.05M simulated packets end-to-end.
-DURATION_NS = 63e6
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+#: Full: 5 runs x ~210k packets/run ≈ 1.05M simulated packets end-to-end.
+DURATION_NS = 16e6 if SMOKE else 63e6
 N_RUNS = 5
 SEED = 2025
-JOB_COUNTS = (1, 2, 4, 8)
+JOB_COUNTS = (1, 2) if SMOKE else (1, 2, 4, 8)
 
 
 def _pipeline(jobs: int):
@@ -66,7 +73,10 @@ def test_parallel_sim_speedup(once, emit, emit_json):
         rows = [("serial", serial_s, 1.0)]
         pools_created = []
         for jobs in JOB_COUNTS[1:]:
-            shutdown_pool()  # fresh pool per config: startup is included,
+            if SMOKE:
+                _pipeline(jobs)  # warm the pool: smoke gates steady state
+            else:
+                shutdown_pool()  # fresh pool per config: startup is included,
             before = pool_stats().created_total  # as a real invocation pays it
             t0 = time.perf_counter()
             got_trials, got_report = _pipeline(jobs)
@@ -75,15 +85,17 @@ def test_parallel_sim_speedup(once, emit, emit_json):
             pools_created.append(pool_stats().created_total - before)
             rows.append((f"jobs={jobs}", dt, serial_s / dt))
         shutdown_pool()
-        # The whole simulate+analyze pipeline shares one pool per config.
-        assert pools_created == [1] * len(JOB_COUNTS[1:])
+        # The whole simulate+analyze pipeline shares one pool per config
+        # (smoke measures with the warm pool, so none is created mid-sweep).
+        assert pools_created == [0 if SMOKE else 1] * len(JOB_COUNTS[1:])
         return n_packets, rows
 
     n_packets, rows = once(sweep)
 
     lines = [
         f"end-to-end simulate+analyze scaling, ~{n_packets} packets across "
-        f"{N_RUNS} runs ({usable_cores} usable cores)",
+        f"{N_RUNS} runs ({usable_cores} usable cores"
+        f"{', smoke' if SMOKE else ''})",
         f"{'config':>8s}  {'seconds':>8s}  {'speedup':>7s}",
     ]
     for name, dt, speedup in rows:
@@ -91,7 +103,12 @@ def test_parallel_sim_speedup(once, emit, emit_json):
     lines.append("")
     lines.append(
         "trials and reports verified bit-identical to serial at every job "
-        "count; exactly one pool created per configuration"
+        "count; "
+        + (
+            "pooled configs measured against a warm pool"
+            if SMOKE
+            else "exactly one pool created per configuration"
+        )
     )
     emit("parallel_sim", "\n".join(lines))
     emit_json(
@@ -102,14 +119,24 @@ def test_parallel_sim_speedup(once, emit, emit_json):
             "duration_ns": DURATION_NS,
             "seed": SEED,
             "usable_cores": usable_cores,
+            "smoke": SMOKE,
         },
         rows[0][1],
         {name: dt for name, dt, _ in rows},
     )
 
     by_name = {name: speedup for name, _, speedup in rows}
-    if usable_cores >= 4:
+    if usable_cores >= 4 and "jobs=4" in by_name:
         assert by_name["jobs=4"] >= 2.0, (
             f"expected >= 2x speedup at 4 jobs on {usable_cores} cores, "
             f"got {by_name['jobs=4']:.2f}x"
+        )
+    # Smoke parity gate: a warm two-worker pipeline must not lose to
+    # serial — asserted only where a second core exists (the JSON records
+    # the core count either way).  5% noise allowance: parity is the claim.
+    if SMOKE and usable_cores >= 2:
+        walls = {name: dt for name, dt, _ in rows}
+        assert walls["jobs=2"] <= walls["serial"] * 1.05, (
+            f"jobs=2 below serial parity on {usable_cores} cores: "
+            f"{walls['jobs=2']:.3f}s vs serial {walls['serial']:.3f}s"
         )

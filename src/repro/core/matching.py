@@ -9,17 +9,22 @@ the second, and so on.  This makes every trial a sequence of unique
 ``(tag, occurrence)`` keys, which is what lets the ordering metric treat
 trials as permutations.
 
-Everything here is vectorized: occurrence ranks come from a stable argsort
-and a grouped ``arange``, and the intersection is a single
-:func:`numpy.intersect1d` over packed 64-bit keys.
+Everything here is vectorized, built on one stable argsort per side: the
+sorted tag arrays expose each tag's occurrence group as a contiguous run,
+matched tags are found with one :func:`numpy.searchsorted`, and pairing the
+first ``min(count_A, count_B)`` occurrences of every matched tag is a
+grouped ``arange``.  (An earlier version packed ``(tag id, occurrence)``
+into 64-bit keys and ran :func:`numpy.intersect1d` — two extra sorts and a
+key-space overflow guard for the identical pair set.)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import metrics
 from .trial import Trial
 
 __all__ = ["Matching", "occurrence_ranks", "match_tag_arrays", "match_trials"]
@@ -71,6 +76,14 @@ class Matching:
     idx_b: np.ndarray
     len_a: int
     len_b: int
+    #: Lazily cached stable argsort of ``idx_b`` — ``b_order`` and
+    #: ``a_ranks_in_b_order`` both need it, and the parallel engine asks
+    #: for it again when deriving the ordering permutation; memoizing on
+    #: the (frozen, immutable-by-contract) matching makes it one argsort
+    #: per pair (``match.b_order_argsorts`` counts the computes).
+    _order_b_cache: np.ndarray | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def n_common(self) -> int:
@@ -82,9 +95,18 @@ class Matching:
         """True when A and B contain exactly the same packets."""
         return self.n_common == self.len_a == self.len_b
 
+    def _order_b(self) -> np.ndarray:
+        """The stable argsort of ``idx_b``, computed once per matching."""
+        cached = self._order_b_cache
+        if cached is None:
+            metrics.counter("match.b_order_argsorts").add()
+            cached = np.argsort(self.idx_b, kind="stable")
+            object.__setattr__(self, "_order_b_cache", cached)
+        return cached
+
     def b_order(self) -> tuple[np.ndarray, np.ndarray]:
         """The aligned index pairs re-sorted by position in B."""
-        order = np.argsort(self.idx_b, kind="stable")
+        order = self._order_b()
         return self.idx_a[order], self.idx_b[order]
 
     def a_ranks_in_b_order(self) -> np.ndarray:
@@ -98,8 +120,7 @@ class Matching:
         """
         # Rows are sorted by idx_a, so the row index *is* the A-side rank;
         # listing row indices in B order therefore lists A ranks in B order.
-        order_b = np.argsort(self.idx_b, kind="stable")
-        return order_b.astype(np.int64, copy=False)
+        return self._order_b().astype(np.int64, copy=False)
 
 
 def match_tag_arrays(
@@ -114,6 +135,13 @@ def match_tag_arrays(
     values yields exactly the rows of the full matching whose tags fall in
     that set.
 
+    One stable argsort per side is the whole cost model.  The stable sort
+    groups equal tags into contiguous runs *in input order*, so the k-th
+    element of tag t's run is the k-th occurrence of t — pairing the first
+    ``min(count_A, count_B)`` run elements of every tag present on both
+    sides yields exactly the ``(tag, occurrence)`` pair set the Section-3
+    matching defines, with no key packing and no overflow regime.
+
     Returns ``(ia, ib)``: intp position arrays sorted by ``ia``.
     """
     na, nb = tags_a.shape[0], tags_b.shape[0]
@@ -121,24 +149,41 @@ def match_tag_arrays(
         empty = np.empty(0, dtype=np.intp)
         return empty, empty
 
-    all_tags = np.concatenate([tags_a, tags_b])
-    _, inverse = np.unique(all_tags, return_inverse=True)
-    ids_a = inverse[:na].astype(np.int64, copy=False)
-    ids_b = inverse[na:].astype(np.int64, copy=False)
+    sa = np.argsort(tags_a, kind="stable")
+    sb = np.argsort(tags_b, kind="stable")
+    sorted_a = tags_a[sa]
+    sorted_b = tags_b[sb]
 
-    occ_a = occurrence_ranks(ids_a)
-    occ_b = occurrence_ranks(ids_b)
+    # Group boundaries of equal-tag runs in each sorted array.
+    new_a = np.empty(na, dtype=bool)
+    new_a[0] = True
+    np.not_equal(sorted_a[1:], sorted_a[:-1], out=new_a[1:])
+    starts_a = np.flatnonzero(new_a)
+    vals_a = sorted_a[starts_a]
+    counts_a = np.diff(np.append(starts_a, na))
 
-    max_occ = int(max(occ_a.max(initial=0), occ_b.max(initial=0))) + 1
-    n_ids = int(inverse.max()) + 1
-    if n_ids * max_occ >= np.iinfo(np.int64).max:
-        raise OverflowError(
-            f"key space {n_ids} ids x {max_occ} occurrences overflows int64"
-        )
+    new_b = np.empty(nb, dtype=bool)
+    new_b[0] = True
+    np.not_equal(sorted_b[1:], sorted_b[:-1], out=new_b[1:])
+    starts_b = np.flatnonzero(new_b)
+    vals_b = sorted_b[starts_b]
+    counts_b = np.diff(np.append(starts_b, nb))
 
-    key_a = ids_a * max_occ + occ_a
-    key_b = ids_b * max_occ + occ_b
-    _, ia, ib = np.intersect1d(key_a, key_b, assume_unique=True, return_indices=True)
+    # Tags present on both sides: for each B group, the A group holding
+    # the same value (if any).
+    pos = np.searchsorted(vals_a, vals_b)
+    in_range = np.flatnonzero(pos < vals_a.size)
+    bsel = in_range[vals_a[pos[in_range]] == vals_b[in_range]]
+    asel = pos[bsel]
+
+    # Occurrence pairing: the first min(count_A, count_B) elements of each
+    # matched run, generated with one grouped arange across all tags.
+    take = np.minimum(counts_a[asel], counts_b[bsel])
+    total = int(take.sum())
+    group = np.repeat(np.arange(take.size), take)
+    occ = np.arange(total, dtype=np.int64) - np.repeat(np.cumsum(take) - take, take)
+    ia = sa[starts_a[asel][group] + occ]
+    ib = sb[starts_b[bsel][group] + occ]
 
     order = np.argsort(ia, kind="stable")
     return (
@@ -152,12 +197,6 @@ def match_trials(a: Trial, b: Trial) -> Matching:
 
     Packets are keyed by ``(tag, occurrence rank)``.  The result lists
     common packets in A's arrival order.
-
-    Raises
-    ------
-    OverflowError
-        If the packed 64-bit key space would overflow (requires more than
-        ~3e9 distinct tags × occurrences, far beyond any realistic trial).
     """
     ia, ib = match_tag_arrays(a.tags, b.tags)
     return Matching(ia, ib, len(a), len(b))

@@ -13,10 +13,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .histograms import DeltaHistogram, SymlogBins, pct_within
-from .iat import iat_deltas_ns, iat_from_matching
+from .fusedpass import fused_timings
+from .histograms import DeltaHistogram, SymlogBins
 from .kappa import KappaScaling, MetricVector
-from .latency import latency_deltas_ns, latency_from_matching
 from .matching import match_trials
 from .ordering import (
     MoveDistanceStats,
@@ -84,7 +83,10 @@ def compare_trials(
 
     Computes the matching once and derives all four metrics, κ, the ±10 ns
     IAT statistic, the Table-1 move-distance statistics, and both figure
-    histograms from it.
+    histograms from it.  The timing side runs through the fused kernel
+    (:mod:`repro.core.fusedpass`) — one walk over the matched rows instead
+    of four per-component passes; bit-identical output, which
+    ``tests/test_fusedpass.py`` pins against the per-component functions.
     """
     bins = bins if bins is not None else SymlogBins()
     m = match_trials(baseline, run)
@@ -92,23 +94,23 @@ def compare_trials(
 
     u = uniqueness_from_matching(m)
     o = ordering_from_matching(m, script)
-    lat = latency_from_matching(baseline, run, m)
-    iat = iat_from_matching(baseline, run, m)
-
-    iat_deltas = iat_deltas_ns(baseline, run, matching=m)
-    lat_deltas = latency_deltas_ns(baseline, run, matching=m)
+    fused = fused_timings(baseline, run, m, bins=bins, within_ns=within_ns)
 
     return PairReport(
         baseline_label=baseline.label,
         run_label=run.label,
-        metrics=MetricVector(u, o, lat, iat),
+        metrics=MetricVector(u, o, fused.l, fused.i),
         n_baseline=len(baseline),
         n_run=len(run),
         n_common=m.n_common,
-        pct_iat_within_10ns=pct_within(iat_deltas, within_ns),
+        pct_iat_within_10ns=fused.pct_iat_within,
         move_stats=MoveDistanceStats.from_distances(script.moved_distances),
-        iat_hist=DeltaHistogram.from_deltas(iat_deltas, bins, label=run.label),
-        latency_hist=DeltaHistogram.from_deltas(lat_deltas, bins, label=run.label),
+        iat_hist=DeltaHistogram.from_counts(
+            fused.iat_counts, m.n_common, bins, label=run.label
+        ),
+        latency_hist=DeltaHistogram.from_counts(
+            fused.lat_counts, m.n_common, bins, label=run.label
+        ),
         meta={"baseline": dict(baseline.meta), "run": dict(run.meta)},
     )
 

@@ -161,15 +161,28 @@ def windowed_deviation(
     Missing packets (in the baseline, absent from the run) are attributed
     to the window of their *baseline* arrival — where the operator would
     go looking for them.
+
+    Runs through the fused timing kernel (:mod:`repro.core.fusedpass`),
+    which feeds :func:`deviation_from_deltas` the identical delta arrays
+    the per-component path here used to gather twice.
     """
     if window_ns <= 0:
         raise ValueError("window_ns must be positive")
     if baseline.is_empty:
         raise ValueError("baseline trial is empty")
 
+    from .fusedpass import fused_timings  # local: fusedpass imports this module
+
     m = match_trials(baseline, run)
-    dl = np.abs(latency_deltas_ns(baseline, run, matching=m))
-    dg = np.abs(iat_deltas_ns(baseline, run, matching=m))
+    fused = fused_timings(baseline, run, m, window_ns=window_ns)
+    if fused.windows is not None:
+        return fused.windows
+    # No common packets: the fused kernel short-circuits before windowing;
+    # aggregate empty delta arrays over the baseline timeline directly.
     return deviation_from_deltas(
-        baseline.relative_times_ns(), m.idx_a, dl, dg, window_ns
+        baseline.relative_times_ns(),
+        m.idx_a,
+        np.empty(0, dtype=np.float64),
+        np.empty(0, dtype=np.float64),
+        window_ns,
     )

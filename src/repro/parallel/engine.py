@@ -30,6 +30,8 @@ arrays travel through ``multiprocessing.shared_memory`` (see
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 import numpy as np
 
 from ..core.histograms import DeltaHistogram, SymlogBins, pct_within_from_counts
@@ -59,7 +61,7 @@ from .ordershard import (
     order_block_tasks,
 )
 from .partials import compute_shard_partial, merge_partials
-from .pool import gather, get_pool, submit_task
+from .pool import batch_chunks, gather, get_pool, submit_batch, submit_task
 from .shard import (
     DEFAULT_MIN_ORDER_PACKETS,
     DEFAULT_MIN_SHARD_PACKETS,
@@ -315,11 +317,25 @@ class ParallelComparator:
             elif self.jobs > 1 and planner.use_whole_pairs(len(runs)):
                 pairs = self._compare_pairs_whole(baseline, runs, bins)
             else:
+                # Sharded pairs run sequentially against one reuse arena:
+                # the baseline arrays are shared (pinned) once for the
+                # whole series, and each pair's working segments are
+                # recycled for the next pair instead of re-created —
+                # safe because every pair gathers (or drains) all its
+                # futures before returning.
                 slots = planner.pair_slots(len(runs))
-                pairs = [
-                    self._compare_pair_sharded(baseline, r, bins, planner, slots=slots)
-                    for r in runs
-                ]
+                use_pool = self.jobs > 1
+                with ShmArena(enabled=use_pool, reuse=True) as arena:
+                    times_a_spec = arena.share(baseline.times_ns, pin=True)
+                    pairs = []
+                    for r in runs:
+                        pairs.append(
+                            self._compare_pair_sharded(
+                                baseline, r, bins, planner, slots=slots,
+                                arena=arena, times_a_spec=times_a_spec,
+                            )
+                        )
+                        arena.recycle()
         return RunSeriesReport(
             environment=environment,
             baseline_label=baseline.label,
@@ -383,11 +399,13 @@ class ParallelComparator:
         bins: SymlogBins,
         planner: ShardPlanner,
         slots: int | None,
+        arena: ShmArena | None = None,
+        times_a_spec=None,
     ) -> PairReport:
         """Within-pair fan-out: timing shards + sharded ordering, merged."""
         with span("analysis.pair", run=run.label, mode="sharded"):
             return self._compare_pair_sharded_inner(
-                baseline, run, bins, planner, slots
+                baseline, run, bins, planner, slots, arena, times_a_spec
             )
 
     def _compare_pair_sharded_inner(
@@ -397,6 +415,8 @@ class ParallelComparator:
         bins: SymlogBins,
         planner: ShardPlanner,
         slots: int | None,
+        series_arena: ShmArena | None = None,
+        times_a_spec=None,
     ) -> PairReport:
         m = self._match(baseline, run)
         plan = planner.plan_pair(m.n_common, slots=slots)
@@ -406,10 +426,20 @@ class ParallelComparator:
         metrics.counter("engine.order_blocks").add(
             1 if order_plan is None else order_plan.n_shards
         )
-        with ShmArena(enabled=use_pool) as arena:
+        # A series hands in its reuse arena (baseline pinned, segments
+        # recycled between pairs); a lone pair owns a throwaway one.
+        own_arena = series_arena is None
+        arena_ctx = (
+            ShmArena(enabled=use_pool) if own_arena else nullcontext(series_arena)
+        )
+        with arena_ctx as arena:
             idx_a = arena.share(m.idx_a)
             idx_b = arena.share(m.idx_b)
-            times_a = arena.share(baseline.times_ns)
+            times_a = (
+                times_a_spec
+                if times_a_spec is not None
+                else arena.share(baseline.times_ns)
+            )
             times_b = arena.share(run.times_ns)
             out_dlat, dlat_buf = arena.allocate(m.n_common)
             out_diat, diat_buf = arena.allocate(m.n_common)
@@ -455,7 +485,11 @@ class ParallelComparator:
                 # Ordering work is the long pole; launch it first so it
                 # overlaps all the timing shards.  With block tasks the
                 # parent additionally merges the ordering result while
-                # the timing shards are still running.
+                # the timing shards are still running.  Small tasks are
+                # coalesced into one dispatch per worker (contiguous
+                # chunks, so flattening keeps task order); the ordering
+                # merge waits on *all* blocks anyway, so coalescing
+                # forfeits no overlap.
                 if ordering_tasks is None:
                     ordering_futures = [
                         submit_task(
@@ -465,24 +499,30 @@ class ParallelComparator:
                     ]
                 else:
                     ordering_futures = [
-                        submit_task(
-                            pool, _order_block_worker, t,
-                            name="analysis.order.block", lo=t["lo"], hi=t["hi"],
+                        submit_batch(
+                            pool, _order_block_worker, chunk,
+                            name="analysis.order.block",
+                            attrs_list=[
+                                {"lo": t["lo"], "hi": t["hi"]} for t in chunk
+                            ],
                         )
-                        for t in ordering_tasks
+                        for chunk in batch_chunks(ordering_tasks, self.jobs)
                     ]
                 shard_futures = [
-                    submit_task(
-                        pool, _timing_shard_worker, t,
-                        name="analysis.shard.timing", lo=t["lo"], hi=t["hi"],
+                    submit_batch(
+                        pool, _timing_shard_worker, chunk,
+                        name="analysis.shard.timing",
+                        attrs_list=[{"lo": t["lo"], "hi": t["hi"]} for t in chunk],
                     )
-                    for t in shard_tasks
+                    for chunk in batch_chunks(shard_tasks, self.jobs)
                 ]
                 try:
-                    order_results = gather(ordering_futures)
                     if ordering_tasks is None:
-                        o_val, move_stats = order_results[0]
+                        o_val, move_stats = gather(ordering_futures)[0]
                     else:
+                        order_results = [
+                            r for batch in gather(ordering_futures) for r in batch
+                        ]
                         o_val, move_stats = self._merge_ordering(
                             m, a_ranks_in_b, order_results,
                             prev_buf, tvals_buf, tidx_buf,
@@ -496,7 +536,7 @@ class ParallelComparator:
                     except BaseException:
                         pass
                     raise
-                partials = gather(shard_futures)
+                partials = [r for batch in gather(shard_futures) for r in batch]
             else:
                 if ordering_tasks is None:
                     o_val, move_stats = run_local(

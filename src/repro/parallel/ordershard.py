@@ -100,7 +100,7 @@ from ..core.ordering import (
 from ..obs import metrics
 from ..obs.trace import span
 from ..obs.worker import run_local
-from .pool import gather, get_pool, submit_task
+from .pool import batch_chunks, gather, get_pool, submit_batch
 from .shard import (
     DEFAULT_MIN_ORDER_PACKETS,
     DEFAULT_ORDER_BLOCK_PACKETS,
@@ -477,15 +477,21 @@ def lis_mask_sharded(
         tasks = order_block_tasks(seq_spec, bounds, out_prev, out_tvals, out_tidx)
         if use_pool:
             pool = get_pool(jobs)
-            results = gather(
+            # One dispatch per worker: blocks are coalesced into
+            # contiguous chunks, and the merge below needs all of them
+            # anyway, so batching trades nothing for the saved fan-out
+            # fixed costs.
+            batches = gather(
                 [
-                    submit_task(
-                        pool, _order_block_worker, t,
-                        name="analysis.order.block", lo=t["lo"], hi=t["hi"],
+                    submit_batch(
+                        pool, _order_block_worker, chunk,
+                        name="analysis.order.block",
+                        attrs_list=[{"lo": t["lo"], "hi": t["hi"]} for t in chunk],
                     )
-                    for t in tasks
+                    for chunk in batch_chunks(tasks, jobs)
                 ]
             )
+            results = [r for batch in batches for r in batch]
         else:
             results = [
                 run_local(

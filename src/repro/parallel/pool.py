@@ -45,18 +45,38 @@ every fan-out site names its stage (``analysis.shard.timing``,
 back on the result; :func:`gather` unwraps those envelopes and merges
 them parent-side.  With tracing off, ``submit_task`` degenerates to a
 bare ``pool.submit`` plus one counter increment.
+
+Start method: workers start via **forkserver** by default — the server
+process pre-imports NumPy and the engine modules once
+(:func:`multiprocessing.set_forkserver_preload`), so each worker forks
+from a warm template instead of re-running imports (``spawn``) or
+copying the parent's full heap of trial arrays (``fork``).  The
+``REPRO_POOL_START`` environment variable overrides the choice
+(``forkserver``/``fork``/``spawn``); unknown values fall back to the
+platform default.  :func:`pool_stats` reports the live method, and every
+benchmark JSON records it (:mod:`benchmarks._emit`).
+
+Dispatch cost: :func:`submit_batch` coalesces many small tasks (ordering
+blocks, timing shards) into one pool dispatch per worker — one pickle,
+one queue hop, one result envelope for the whole run of tasks, while
+per-task spans are preserved under tracing
+(:func:`repro.obs.worker.run_traced_batch`).  :func:`batch_chunks` is
+the companion splitter: contiguous, balanced runs so that flattening
+batch results preserves task order.
 """
 
 from __future__ import annotations
 
 import atexit
+import multiprocessing
+import os
 import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 
 from ..obs import metrics, trace
-from ..obs.worker import TaskEnvelope, absorb, run_traced
+from ..obs.worker import TaskEnvelope, absorb, run_traced, run_traced_batch
 
 __all__ = [
     "get_pool",
@@ -64,6 +84,8 @@ __all__ = [
     "pool_stats",
     "pool_scope",
     "submit_task",
+    "submit_batch",
+    "batch_chunks",
     "gather",
     "PoolStats",
 ]
@@ -72,7 +94,14 @@ __all__ = [
 _lock = threading.Lock()
 _executor: ProcessPoolExecutor | None = None
 _executor_jobs: int = 0
+_executor_start: str = ""
 _created_total: int = 0
+
+#: Modules the forkserver template imports once; every worker forks with
+#: them warm.  ``repro.parallel.engine`` transitively pulls in the core
+#: metric kernels, the shard workers and the shm transport — the whole
+#: import graph a comparison task touches.
+_FORKSERVER_PRELOAD = ["numpy", "repro.parallel.engine", "repro.parallel.simfarm"]
 
 
 @dataclass(frozen=True)
@@ -82,6 +111,26 @@ class PoolStats:
     active: bool
     jobs: int
     created_total: int
+    start_method: str = ""
+
+
+def pool_start_method() -> str:
+    """The start method the next pool will use (``REPRO_POOL_START`` aware)."""
+    method = os.environ.get("REPRO_POOL_START", "forkserver").strip().lower()
+    if method not in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_start_method()
+    return method
+
+
+def _pool_context(method: str):
+    """A multiprocessing context for ``method``, preloaded when forkserver."""
+    ctx = multiprocessing.get_context(method)
+    if method == "forkserver":
+        # Harmless if the server is already running: the preload list only
+        # applies when the server process starts.  Import failures inside
+        # the server are ignored by multiprocessing itself.
+        ctx.set_forkserver_preload(_FORKSERVER_PRELOAD)
+    return ctx
 
 
 def get_pool(jobs: int) -> ProcessPoolExecutor:
@@ -90,19 +139,25 @@ def get_pool(jobs: int) -> ProcessPoolExecutor:
     Serial paths (``jobs=1``) never touch the pool — callers must only
     ask for one when they actually fan out.
     """
-    global _executor, _executor_jobs, _created_total
+    global _executor, _executor_jobs, _executor_start, _created_total
     jobs = int(jobs)
     if jobs < 2:
         raise ValueError("the worker pool is for fan-out; serial paths run in-process")
+    method = pool_start_method()
     with _lock:
         if _executor is not None and (
-            _executor_jobs != jobs or getattr(_executor, "_broken", False)
+            _executor_jobs != jobs
+            or _executor_start != method
+            or getattr(_executor, "_broken", False)
         ):
             _executor.shutdown(wait=True)
             _executor = None
         if _executor is None:
-            _executor = ProcessPoolExecutor(max_workers=jobs)
+            _executor = ProcessPoolExecutor(
+                max_workers=jobs, mp_context=_pool_context(method)
+            )
             _executor_jobs = jobs
+            _executor_start = method
             _created_total += 1
             metrics.counter("pool.created").add()
             metrics.gauge("pool.workers").set(jobs)
@@ -129,6 +184,7 @@ def pool_stats() -> PoolStats:
             active=_executor is not None,
             jobs=_executor_jobs if _executor is not None else 0,
             created_total=_created_total,
+            start_method=_executor_start if _executor is not None else "",
         )
 
 
@@ -161,6 +217,53 @@ def submit_task(
     if name is not None and trace.is_enabled():
         return pool.submit(run_traced, fn, task, name, attrs, time.time_ns())
     return pool.submit(fn, task)
+
+
+def batch_chunks(items: list, n_batches: int) -> list[list]:
+    """Split ``items`` into at most ``n_batches`` contiguous balanced runs.
+
+    Chunks are contiguous, so flattening per-chunk results in order
+    reproduces the original item order — the property the engine's merge
+    steps rely on.  Never returns an empty chunk.
+    """
+    n = len(items)
+    k = max(1, min(int(n_batches), n))
+    bounds = [round(j * n / k) for j in range(k + 1)]
+    return [items[bounds[j] : bounds[j + 1]] for j in range(k)]
+
+
+def _run_batch(fn, tasks: list) -> list:
+    """Worker-side untraced batch body: run every task, return all results."""
+    return [fn(t) for t in tasks]
+
+
+def submit_batch(
+    pool: ProcessPoolExecutor,
+    fn,
+    tasks: list,
+    *,
+    name: str | None = None,
+    attrs_list: list | None = None,
+) -> Future:
+    """Submit a run of small tasks as **one** pool dispatch.
+
+    The future resolves to the list of per-task results in task order.
+    Fixed costs — pickling, queue hops, future bookkeeping, telemetry
+    envelopes — are paid once per batch instead of once per task; with
+    ~129 ordering blocks per paper-scale pair that is the difference
+    between dispatch overhead rivaling the compute and it disappearing.
+
+    When tracing is on, every task still gets its own span (``name`` with
+    its entry from ``attrs_list``), stamped with the worker pid — batch
+    submission is invisible in the trace except for the shared envelope.
+    """
+    metrics.counter("pool.tasks_submitted").add(len(tasks))
+    metrics.counter("pool.batches_submitted").add()
+    if name is not None and trace.is_enabled():
+        return pool.submit(
+            run_traced_batch, fn, tasks, name, attrs_list, time.time_ns()
+        )
+    return pool.submit(_run_batch, fn, tasks)
 
 
 def _unwrap(result):

@@ -16,13 +16,15 @@ pickled.
 
 Ownership note: the parent's arena is the sole owner of every segment it
 creates.  CPython < 3.13 also registers *attached* segments with the
-``resource_tracker`` (bpo-39959); under the default ``fork`` start method
-workers share the parent's tracker daemon, so that duplicate registration
-is a harmless set-add and must be left alone — unregistering from a worker
-would erase the parent's own registration.  Under ``spawn`` each worker
-has a private tracker that would unlink the parent's segments at worker
-exit, so there the attachment is unregistered (or, on 3.13+, never
-tracked via ``track=False``).
+``resource_tracker`` (bpo-39959); under the ``fork`` and ``forkserver``
+start methods workers share the parent's tracker daemon (the forkserver
+starts the tracker before it launches, so its children inherit the fd),
+so that duplicate registration is a harmless set-add and must be left
+alone — unregistering from a worker would erase the parent's own
+registration.  Under ``spawn`` each worker has a private tracker that
+would unlink the parent's segments at worker exit, so there the
+attachment is unregistered (or, on 3.13+, never tracked via
+``track=False``).
 """
 
 from __future__ import annotations
@@ -68,51 +70,105 @@ class ShmArena:
     spec is inline and no segments are created — the single-process path.
     The arena owns its segments: :meth:`close` (or the context manager)
     closes and unlinks them all, after which worker views are invalid.
+
+    With ``reuse=True`` the arena additionally recycles segments across
+    *phases* of work (the engine's phases are trial pairs): between
+    phases the caller invokes :meth:`recycle`, which returns every
+    non-pinned live segment to a free pool; the next ``share``/``allocate``
+    of a size that fits an idle segment reuses it (smallest sufficient
+    capacity first) instead of paying ``shm_open``+``mmap``+``ftruncate``
+    again.  A NumPy view of the requested shape over a larger buffer is
+    exact — the spec's shape bounds every access.  Arrays that stay live
+    across phases (a series' baseline) are shared with ``pin=True`` and
+    survive every recycle.  Reuses are counted (``shm.segments_reused``).
+
+    Safety invariant (caller's): :meth:`recycle` may only run when no
+    worker task of the finished phase is still in flight — the engine
+    guarantees this by gathering (or draining, on error) every future of
+    a pair before recycling.
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True, reuse: bool = False) -> None:
         self.enabled = enabled
+        self.reuse = reuse
         self._segments: list[shared_memory.SharedMemory] = []
         self._views: dict[str, np.ndarray] = {}
+        self._free: list[shared_memory.SharedMemory] = []
+        self._live: list[tuple[shared_memory.SharedMemory, bool]] = []
 
     # -- construction ----------------------------------------------------
-    def share(self, array: np.ndarray) -> ArraySpec:
-        """Copy ``array`` into a new segment and return its spec."""
+    def share(self, array: np.ndarray, *, pin: bool = False) -> ArraySpec:
+        """Copy ``array`` into a (possibly recycled) segment; return its spec."""
         array = np.ascontiguousarray(array)
-        spec, view = self._new(array.shape, array.dtype)
+        spec, view = self._new(array.shape, array.dtype, pin=pin)
         if view is not None:
             view[...] = array
             return spec
         return ArraySpec(array.shape, array.dtype.str, array=array)
 
-    def allocate(self, n: int, dtype=np.float64) -> tuple[ArraySpec, np.ndarray]:
+    def allocate(
+        self, n: int, dtype=np.float64, *, pin: bool = False
+    ) -> tuple[ArraySpec, np.ndarray]:
         """A zero-initialized writable buffer of ``n`` elements.
 
         Returns the spec to ship to workers and the parent's view of the
         same memory (workers write shard slices; the parent reads the
         assembled whole).
         """
-        spec, view = self._new((int(n),), np.dtype(dtype))
+        spec, view = self._new((int(n),), np.dtype(dtype), pin=pin)
         if view is None:
             inline = np.zeros(int(n), dtype=dtype)
             return ArraySpec(inline.shape, inline.dtype.str, array=inline), inline
         view[...] = 0
         return spec, view
 
-    def _new(self, shape, dtype) -> tuple[ArraySpec, np.ndarray | None]:
+    def _new(self, shape, dtype, pin: bool = False) -> tuple[ArraySpec, np.ndarray | None]:
         nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
         # Zero-length arrays cannot back a segment; ship them inline (a
         # 0-byte pickle is not a payload).
         if not self.enabled or nbytes == 0:
             return ArraySpec(tuple(shape), dtype.str), None
-        seg = shared_memory.SharedMemory(create=True, size=nbytes)
-        self._segments.append(seg)
+        seg = self._take_free(nbytes)
+        if seg is None:
+            seg = shared_memory.SharedMemory(create=True, size=nbytes)
+            self._segments.append(seg)
+            metrics.counter("shm.segments").add()
+            metrics.counter("shm.bytes_shared").add(nbytes)
+        if self.reuse:
+            self._live.append((seg, pin))
         view = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
         spec = ArraySpec(tuple(shape), dtype.str, shm_name=seg.name)
         self._views[seg.name] = view
-        metrics.counter("shm.segments").add()
-        metrics.counter("shm.bytes_shared").add(nbytes)
         return spec, view
+
+    def _take_free(self, nbytes: int) -> shared_memory.SharedMemory | None:
+        """The smallest idle segment of capacity ≥ ``nbytes``, if any."""
+        best = -1
+        for k, seg in enumerate(self._free):
+            if seg.size >= nbytes and (best < 0 or seg.size < self._free[best].size):
+                best = k
+        if best < 0:
+            return None
+        metrics.counter("shm.segments_reused").add()
+        return self._free.pop(best)
+
+    def recycle(self) -> None:
+        """Return every non-pinned live segment to the free pool.
+
+        Only meaningful on a ``reuse=True`` arena; otherwise a no-op.
+        The caller must guarantee no in-flight worker still reads the
+        recycled segments (see the class docstring).
+        """
+        if not self.reuse:
+            return
+        keep = []
+        for seg, pinned in self._live:
+            if pinned:
+                keep.append((seg, pinned))
+            else:
+                self._views.pop(seg.name, None)
+                self._free.append(seg)
+        self._live = keep
 
     # -- parent-side access ----------------------------------------------
     def view(self, spec: ArraySpec) -> np.ndarray:
@@ -127,6 +183,8 @@ class ShmArena:
     def close(self) -> None:
         """Close and unlink every segment this arena created."""
         self._views.clear()
+        self._free.clear()
+        self._live.clear()
         for seg in self._segments:
             try:
                 seg.close()
@@ -170,10 +228,11 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
     if _HAS_TRACK_KW:
         return shared_memory.SharedMemory(name=name, track=False)
     seg = shared_memory.SharedMemory(name=name)
-    if multiprocessing.get_start_method() != "fork":
+    if multiprocessing.get_start_method() == "spawn":
         # Private tracker (spawn): drop the attach-side registration so a
-        # worker exit cannot unlink the parent's segment.  Under fork the
-        # tracker is shared and the registration is the parent's — leave it.
+        # worker exit cannot unlink the parent's segment.  Under fork *and*
+        # forkserver the tracker is shared and the registration is the
+        # parent's — leave it.
         try:
             resource_tracker.unregister(seg._name, "shared_memory")
         except Exception:  # pragma: no cover - tracker API drift

@@ -99,3 +99,61 @@ class TestMatchTrials:
         a = make_trial([0, 1], tags=[-5, -1])
         b = make_trial([0, 1], tags=[-1, -5])
         assert match_trials(a, b).n_common == 2
+
+
+class TestArgsortCache:
+    """The B-order argsort is computed once per matching, then memoized.
+
+    ``b_order``, ``a_ranks_in_b_order`` and the engine's ordering
+    permutation all need the stable argsort of ``idx_b``; the
+    ``match.b_order_argsorts`` counter proves every path shares one
+    compute per pair.
+    """
+
+    def _argsorts(self) -> int:
+        from repro.obs import metrics
+
+        return metrics.counter("match.b_order_argsorts").value
+
+    def test_one_argsort_across_accessors(self, rng):
+        perm = rng.permutation(500)
+        a = comb_trial(500)
+        b = make_trial(np.arange(500) * 10.0, tags=perm)
+        m = match_trials(a, b)
+        before = self._argsorts()
+        m.b_order()
+        m.a_ranks_in_b_order()
+        m.b_order()
+        m.a_ranks_in_b_order()
+        assert self._argsorts() - before == 1
+
+    def test_cache_preserves_values(self, rng):
+        perm = rng.permutation(64)
+        a = comb_trial(64)
+        b = make_trial(np.arange(64) * 10.0, tags=perm)
+        m = match_trials(a, b)
+        first = m.a_ranks_in_b_order()
+        ia1, ib1 = m.b_order()
+        again = m.a_ranks_in_b_order()
+        ia2, ib2 = m.b_order()
+        np.testing.assert_array_equal(first, again)
+        np.testing.assert_array_equal(ia1, ia2)
+        np.testing.assert_array_equal(ib1, ib2)
+        # The cached permutation is the argsort the accessors are defined by.
+        np.testing.assert_array_equal(
+            first, np.argsort(m.idx_b, kind="stable").astype(np.int64)
+        )
+
+    def test_full_comparison_is_one_argsort_per_pair(self):
+        from repro.core import compare_trials
+
+        rng2 = np.random.default_rng(4242)
+        tags = rng2.integers(0, 40, size=300).astype(np.int64)
+        times = np.cumsum(rng2.exponential(100.0, size=300))
+        a = make_trial(times, tags, label="A")
+        run_times = times + rng2.normal(0, 150, 300)
+        order = np.argsort(run_times, kind="stable")
+        b = make_trial(run_times[order], tags[order], label="B")
+        before = self._argsorts()
+        compare_trials(a, b)
+        assert self._argsorts() - before == 1

@@ -266,3 +266,41 @@ class TestWorkerTelemetryRoundTrip:
         # Inert under fan-out, too.
         want = compare_series(trials, environment=PROFILE.name)
         assert_series_equal(rep, want)
+
+
+class TestTrackerQuiet:
+    """Worker shm attachments must not disturb the parent's resource tracker.
+
+    Under ``fork`` *and* ``forkserver`` the workers share the parent's
+    tracker daemon, so the attach-side registration (bpo-39959, < 3.13)
+    belongs to the parent and must be left alone; a worker unregistering
+    it makes the parent's own ``unlink`` a double-unregister, which the
+    tracker reports as a KeyError traceback on stderr — once per segment.
+    A pooled run's stderr is the regression detector.
+    """
+
+    def test_forkserver_run_leaves_stderr_clean(self, tmp_path):
+        import subprocess
+        import sys
+
+        script = tmp_path / "pooled_run.py"
+        script.write_text(
+            "from repro.parallel import ParallelComparator, shutdown_pool\n"
+            "from repro.testbeds import Testbed, local_single_replayer\n"
+            "if __name__ == '__main__':\n"
+            "    profile = local_single_replayer().at_duration(3e6)\n"
+            "    trials = Testbed(profile, seed=11).run_series(2, jobs=2)\n"
+            "    with ParallelComparator(jobs=2, shard_packets=512,\n"
+            "                            order_block_packets=512) as pc:\n"
+            "        pc.compare_series(trials, environment=profile.name)\n"
+            "    shutdown_pool()\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True,
+            text=True,
+            timeout=180,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "Traceback" not in proc.stderr, proc.stderr
+        assert "resource_tracker" not in proc.stderr, proc.stderr

@@ -37,29 +37,33 @@ __all__ = ["bench_document", "write_bench_json", "host_info", "usable_cores"]
 def usable_cores() -> int:
     """Cores this process may actually schedule on (affinity-aware)."""
     try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
+        from repro.obs.export import usable_cores as _cores
+
+        return _cores()
+    except Exception:  # pragma: no cover - repro not importable
+        try:
+            return len(os.sched_getaffinity(0))
+        except AttributeError:
+            return os.cpu_count() or 1
 
 
 def host_info() -> dict:
-    """The measurement context recorded in every benchmark JSON."""
-    try:
-        affinity = sorted(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        affinity = list(range(os.cpu_count() or 1))
-    try:
-        from repro.parallel.pool import pool_start_method
+    """The measurement context recorded in every benchmark JSON.
 
-        start_method = pool_start_method()
+    Delegates to :func:`repro.obs.export.host_context` so the bench
+    artifacts and the sweep telemetry documents share one host schema.
+    """
+    try:
+        from repro.obs.export import host_context
+
+        return host_context()
     except Exception:  # pragma: no cover - repro not importable
-        start_method = multiprocessing.get_start_method()
-    return {
-        "usable_cores": usable_cores(),
-        "cpu_count": os.cpu_count() or 1,
-        "cpu_affinity": affinity,
-        "pool_start_method": start_method,
-    }
+        return {
+            "usable_cores": usable_cores(),
+            "cpu_count": os.cpu_count() or 1,
+            "cpu_affinity": list(range(os.cpu_count() or 1)),
+            "pool_start_method": multiprocessing.get_start_method(),
+        }
 
 
 def bench_document(

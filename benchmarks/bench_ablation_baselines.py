@@ -26,7 +26,8 @@ def _gap_stats(achieved, target):
     return float(np.mean(err)), float(np.percentile(err, 99))
 
 
-def test_moongen_gap_control_vs_shared_port(once, emit):
+def test_moongen_gap_control_vs_shared_port(once, emit, bench_params):
+    bench_params(seed=1, n_packets=20_000, rate_bps=100e9, noise_streams=8)
     rng = np.random.default_rng(1)
     n = 20_000
     sizes = np.full(n, 1400)
@@ -61,7 +62,8 @@ def test_moongen_gap_control_vs_shared_port(once, emit):
     assert l_mean > 10 * q_mean  # collapse under sharing (Section 9)
 
 
-def test_sleep_vs_busy_pacing(once, emit):
+def test_sleep_vs_busy_pacing(once, emit, bench_params):
+    bench_params(seed=2, n_packets=50_000)
     rng = np.random.default_rng(2)
     n = 50_000
     cap = PacketArray.uniform(n, 1400, np.arange(n) * 284.0)
@@ -87,7 +89,7 @@ def test_sleep_vs_busy_pacing(once, emit):
     assert errs["asap"] > errs["sleep"]  # ignoring gaps is worst of all
 
 
-def test_tcp_connection_replay_fidelity(once, emit):
+def test_tcp_connection_replay_fidelity(once, emit, bench_params):
     """TCPOpera/DETER semantics vs Choir: byte streams survive, IATs don't.
 
     A connection-level replay reproduces every byte of a TCP workload yet
@@ -140,8 +142,9 @@ def test_tcp_connection_replay_fidelity(once, emit):
         assert np.all(data_gaps >= 5_000.0 - 1e-9)
 
 
-def test_choir_degrades_gracefully_on_shared_port(once, emit):
+def test_choir_degrades_gracefully_on_shared_port(once, emit, bench_params):
     """Replay consistency with vs without a co-tenant, same replayer."""
+    bench_params(seed=3, n_runs=2, duration_ns=20e6)
     from repro.testbeds import Testbed, fabric_shared_40g, fabric_shared_40g_noisy
 
     def run_pair():

@@ -31,15 +31,17 @@ def _aligned_pair(seed=0, n=N):
     return Trial(tags, base, label="A"), Trial(tags, b, label="B")
 
 
-def test_matching_throughput(benchmark):
+def test_matching_throughput(benchmark, bench_params):
     """Tag matching (argsort + intersect) at 1.05M packets."""
+    bench_params(seed=0, n_packets=N)
     a, b = _aligned_pair()
     m = benchmark(match_trials, a, b)
     assert m.n_common == N
 
 
-def test_streaming_throughput(benchmark):
+def test_streaming_throughput(benchmark, bench_params):
     """The constant-memory path: packets/second through the accumulator."""
+    bench_params(seed=0, n_packets=N, chunk=65_536)
     a, b = _aligned_pair()
     chunk = 65_536
 
@@ -57,8 +59,9 @@ def test_streaming_throughput(benchmark):
     # the workload actually streamed everything.
 
 
-def test_ordering_metrics_on_permuted_capture(benchmark):
+def test_ordering_metrics_on_permuted_capture(benchmark, bench_params):
     """LIS-based O and Kendall tau on a 200k-packet interleave."""
+    bench_params(seed=1, n_packets=200_000)
     rng = np.random.default_rng(1)
     n = 200_000
     # An interleave-like permutation: two ordered halves merged randomly.
@@ -78,16 +81,18 @@ def test_ordering_metrics_on_permuted_capture(benchmark):
     assert 0.0 <= o <= 1.0 and 0.0 <= tau <= 1.0
 
 
-def test_lis_scaling(benchmark):
+def test_lis_scaling(benchmark, bench_params):
     """The one O(n log n) Python loop, at paper scale."""
+    bench_params(seed=2, n_packets=N)
     rng = np.random.default_rng(2)
     perm = rng.permutation(N)
     idx = benchmark(longest_increasing_subsequence, perm)
     assert idx.shape[0] > 1000  # E[LIS] ~ 2*sqrt(N)
 
 
-def test_inversion_counting_scaling(benchmark):
+def test_inversion_counting_scaling(benchmark, bench_params):
     """Merge-sort inversion counting at paper scale."""
+    bench_params(seed=3, n_packets=N)
     rng = np.random.default_rng(3)
     perm = rng.permutation(N)
     inv = benchmark(count_inversions, perm)

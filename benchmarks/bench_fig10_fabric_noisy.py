@@ -17,7 +17,13 @@ from repro.experiments import fig10, run_scenario
 from repro.core import KappaScaling
 
 
-def test_fig10_series_and_noisy_rows(once, emit):
+def test_fig10_series_and_noisy_rows(once, emit, bench_params):
+    from repro.experiments import scenario
+
+    bench_params(seeds={
+        k: scenario(k).seed
+        for k in ("fabric-shared-40g-noisy", "fabric-shared-40g")
+    })
     fig10a, fig10b = once(lambda: fig10())
     rep = run_scenario("fabric-shared-40g-noisy")
     quiet = run_scenario("fabric-shared-40g")

@@ -11,7 +11,8 @@ from repro.analysis import render_metric_rows
 from repro.experiments import fig4, run_scenario, scenario
 
 
-def test_fig4_series_and_metrics(once, emit):
+def test_fig4_series_and_metrics(once, emit, bench_params):
+    bench_params(scenario="local-single", seed=scenario("local-single").seed)
     fig4a, fig4b = once(lambda: fig4())
     report = run_scenario("local-single")  # memoized: same series
 

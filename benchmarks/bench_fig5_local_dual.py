@@ -15,7 +15,8 @@ from repro.analysis import render_metric_rows
 from repro.experiments import fig5, run_scenario, scenario
 
 
-def test_fig5_series_and_metrics(once, emit):
+def test_fig5_series_and_metrics(once, emit, bench_params):
+    bench_params(scenario="local-dual", seed=scenario("local-dual").seed)
     series = once(lambda: fig5())
     report = run_scenario("local-dual")
     paper = scenario("local-dual").paper

@@ -24,7 +24,9 @@ def _rows(key):
     )
 
 
-def test_fig6_fabric_dedicated(once, emit):
+def test_fig6_fabric_dedicated(once, emit, bench_params):
+    bench_params(scenario="fabric-dedicated-40g",
+                 seed=scenario("fabric-dedicated-40g").seed)
     a, b = once(lambda: fig6())
     emit("fig6_fabric_dedicated40", "\n".join([a.render(), b.render(),
          "Section 7 test-1 rows:", _rows("fabric-dedicated-40g")]))
@@ -34,7 +36,9 @@ def test_fig6_fabric_dedicated(once, emit):
     assert 0.5 * paper.i < rep.values("I").mean() < 1.5 * paper.i
 
 
-def test_fig7_fabric_shared(once, emit):
+def test_fig7_fabric_shared(once, emit, bench_params):
+    bench_params(scenario="fabric-shared-40g",
+                 seed=scenario("fabric-shared-40g").seed)
     a, b = once(lambda: fig7())
     emit("fig7_fabric_shared40", "\n".join([a.render(), b.render(),
          "Section 7 test-2 rows:", _rows("fabric-shared-40g")]))
@@ -44,7 +48,9 @@ def test_fig7_fabric_shared(once, emit):
     assert abs(rep.values("kappa").mean() - paper.kappa) < 0.02
 
 
-def test_fig8_fabric_dedicated_retest(once, emit):
+def test_fig8_fabric_dedicated_retest(once, emit, bench_params):
+    bench_params(scenario="fabric-dedicated-40g-2",
+                 seed=scenario("fabric-dedicated-40g-2").seed)
     a, b = once(lambda: fig8())
     emit("fig8_fabric_dedicated40_retest", "\n".join([a.render(), b.render(),
          "Section 7 test-3 rows:", _rows("fabric-dedicated-40g-2")]))
@@ -57,8 +63,10 @@ def test_fig8_fabric_dedicated_retest(once, emit):
     assert rep.values("L").mean() > first.values("L").mean()
 
 
-def test_anomaly_dedicated_worse_than_shared(once, emit):
+def test_anomaly_dedicated_worse_than_shared(once, emit, bench_params):
     """Section 8.1's headline surprise, as a standalone check."""
+    bench_params(seeds={k: scenario(k).seed
+                        for k in ("fabric-dedicated-40g", "fabric-shared-40g")})
     ded = once(lambda: run_scenario("fabric-dedicated-40g").mean_row())
     shd = run_scenario("fabric-shared-40g").mean_row()
     emit(

@@ -17,7 +17,14 @@ from repro.analysis import render_metric_rows
 from repro.experiments import fig9, run_scenario
 
 
-def test_fig9_series_and_80g_rows(once, emit):
+def test_fig9_series_and_80g_rows(once, emit, bench_params):
+    from repro.experiments import scenario
+
+    bench_params(seeds={
+        k: scenario(k).seed
+        for k in ("fabric-dedicated-80g", "fabric-shared-80g",
+                  "fabric-dedicated-80g-noisy")
+    })
     fig9a, fig9b = once(lambda: fig9())
     ded = run_scenario("fabric-dedicated-80g")
     shd = run_scenario("fabric-shared-80g")

@@ -19,7 +19,8 @@ from repro.generators import IMIXGenerator
 from repro.testbeds import Testbed, local_single_replayer
 
 
-def test_imix_vs_fixed_size(once, emit):
+def test_imix_vs_fixed_size(once, emit, bench_params):
+    bench_params(seed=17, n_runs=4, duration_ns=20e6)
     fixed_profile = local_single_replayer().at_duration(20e6)
     pps = fixed_profile.rate_bps / (fixed_profile.packet_bytes * 8)
     imix_profile = replace(

@@ -21,7 +21,9 @@ from repro.testbeds import Testbed
 from repro.testbeds.fabric import fabric_intersite_40g
 
 
-def test_intersite_consistency(once, emit):
+def test_intersite_consistency(once, emit, bench_params):
+    bench_params(seed=13, n_runs=4, duration_ns=20e6, ecmp_paths=[1, 4])
+
     def run_all():
         out = {}
         for label, ecmp in (("intersite-fifo", 1), ("intersite-ecmp4", 4)):

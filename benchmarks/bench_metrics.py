@@ -20,8 +20,9 @@ from repro.core import (
 PAPER_N = 1_055_648  # packets per trial in Section 6.1
 
 
-def test_fig2_max_latency_bound(once, emit):
+def test_fig2_max_latency_bound(once, emit, bench_params):
     """Figure 2: the max-L construction attains the normalizer exactly."""
+    bench_params(n_common=100_000, span_ns=0.3e9)
     a, b = max_latency_construction(100_000, span_ns=0.3e9)
     value = once(lambda: latency_variation(a, b))
     emit(
@@ -33,8 +34,9 @@ def test_fig2_max_latency_bound(once, emit):
     assert abs(value - 1.0) < 1e-9
 
 
-def test_fig3_max_iat_bound(once, emit):
+def test_fig3_max_iat_bound(once, emit, bench_params):
     """Figure 3: the max-I construction attains the normalizer exactly."""
+    bench_params(n_common=100_000, span_ns=0.3e9)
     a, b = max_iat_construction(100_000, span_ns=0.3e9)
     value = once(lambda: iat_variation(a, b))
     emit(
@@ -46,8 +48,9 @@ def test_fig3_max_iat_bound(once, emit):
     assert abs(value - 1.0) < 1e-9
 
 
-def test_full_analysis_at_paper_scale(once, emit):
+def test_full_analysis_at_paper_scale(once, emit, bench_params):
     """Time the complete pair analysis on 1,055,648-packet trials."""
+    bench_params(seed=0, n_packets=PAPER_N)
     rng = np.random.default_rng(0)
     times = np.cumsum(rng.exponential(284.0, PAPER_N))
     tags = np.arange(PAPER_N, dtype=np.int64)

@@ -15,7 +15,8 @@ from repro.analysis import render_metric_rows
 from repro.core import longest_increasing_subsequence, naive_lcs_length
 
 
-def test_lis_vs_naive_lcs(once, emit):
+def test_lis_vs_naive_lcs(once, emit, bench_params):
+    bench_params(seed=0, sizes=[500, 2_000, 8_000])
     rng = np.random.default_rng(0)
     rows = []
     for n in (500, 2_000, 8_000):

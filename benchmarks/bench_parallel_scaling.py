@@ -18,8 +18,10 @@ from repro.testbeds import Testbed, local_multi_replayer
 from repro.viz import series_lines
 
 
-def test_parallel_replayer_scaling(once, emit, outdir):
+def test_parallel_replayer_scaling(once, emit, outdir, bench_params):
     counts = (1, 2, 3, 4)
+    bench_params(seed=21, n_runs=4, duration_ns=20e6,
+                 replayer_counts=list(counts))
 
     def sweep():
         rows = []

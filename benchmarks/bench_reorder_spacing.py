@@ -19,7 +19,12 @@ from repro.core import reorder_probability_by_spacing
 from repro.experiments import run_scenario_trials
 
 
-def test_reorder_by_spacing(once, emit):
+def test_reorder_by_spacing(once, emit, bench_params):
+    from repro.experiments import scenario
+
+    bench_params(max_lag=8, seeds={k: scenario(k).seed
+                                   for k in ("local-single", "local-dual")})
+
     def measure():
         single = run_scenario_trials("local-single")[0]
         dual = run_scenario_trials("local-dual")[0]

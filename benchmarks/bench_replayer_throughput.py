@@ -20,8 +20,9 @@ from repro.net.units import rate_to_pps
 from repro.replay import ChoirNode, PollLoopCost, Replayer, ReplayTimingModel
 
 
-def test_100g_sustained(once, emit):
+def test_100g_sustained(once, emit, bench_params):
     """Drive a 100 Gbps stream through record+replay; no backlog growth."""
+    bench_params(seed=0, rate_bps=100e9, duration_ns=5e6)
     rng = np.random.default_rng(0)
     gen = CBRGenerator(rate_bps=100e9, packet_bytes=1400)
     stream = gen.generate(5e6, rng)  # 5 ms at 8.9 Mpps = ~44.6k packets

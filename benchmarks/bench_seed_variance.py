@@ -15,8 +15,10 @@ from repro.analysis import render_metric_rows, seed_sweep
 from repro.experiments import scenario
 
 
-def test_seed_variance(once, emit):
+def test_seed_variance(once, emit, bench_params):
     keys = ("local-single", "fabric-shared-40g", "fabric-dedicated-40g")
+    bench_params(scenarios=list(keys), seeds=list(range(5)), n_runs=3,
+                 scale=0.05)
 
     def sweep_all():
         rows = []

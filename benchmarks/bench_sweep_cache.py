@@ -1,0 +1,87 @@
+"""Cold vs warm sweep wall time: the artifact store must actually pay.
+
+The sweep orchestrator's pitch (``docs/sweeps.md``) is that a warm
+content-addressed store turns a matrix evaluation into pure I/O — decode
+and verify instead of simulate and analyze.  This benchmark runs the
+same smoke matrix cold (empty store) and warm (second pass over the same
+store), asserts every warm unit is a cache hit with the byte-identical
+merged report, and gates on the headline: the warm sweep must be at
+least 5x faster than the cold one.  Unlike the parallel-speedup gates
+this one binds on a single core too — a cache hit skips *work*, not just
+waits for more hardware — so it asserts under ``REPRO_BENCH_SMOKE`` as
+well.
+
+``REPRO_BENCH_SMOKE=1`` (CI) shrinks the matrix to three environments at
+a short duration scale; the full run sweeps all nine.
+"""
+
+import json
+import os
+import time
+
+from repro.parallel import shutdown_pool
+from repro.sweep import ArtifactStore, plan_from_scenarios, run_sweep, write_sweep_report
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+KEYS = ["local-single", "local-dual", "fabric-shared-40g-noisy"] if SMOKE else None
+SCALE = 0.02 if SMOKE else None  # None: REPRO_SCALE (default 0.25)
+N_RUNS = 2 if SMOKE else 5
+WARM_SPEEDUP_FLOOR = 5.0
+
+
+def test_sweep_cold_vs_warm(once, emit, emit_json, tmp_path):
+    plan = plan_from_scenarios(KEYS, n_runs=N_RUNS, duration_scale=SCALE)
+
+    def cold():
+        store = ArtifactStore(tmp_path / "store")
+        t0 = time.perf_counter()
+        result = run_sweep(plan, store, jobs=1)
+        return result, store, time.perf_counter() - t0
+
+    cold_result, cold_store, cold_s = once(cold)
+    assert cold_result.outcomes == ("miss",) * len(plan)
+
+    warm_store = ArtifactStore(tmp_path / "store")
+    t0 = time.perf_counter()
+    warm_result = run_sweep(plan, warm_store, jobs=1)
+    warm_s = time.perf_counter() - t0
+
+    # Correctness before speed: all hits, nothing recomputed, same bytes.
+    assert warm_result.outcomes == ("hit",) * len(plan)
+    assert warm_store.stats.misses == 0 and warm_store.stats.writes == 0
+    cold_path, _ = write_sweep_report(cold_result, tmp_path / "cold")
+    warm_path, _ = write_sweep_report(warm_result, tmp_path / "warm")
+    assert cold_path.read_bytes() == warm_path.read_bytes()
+
+    speedup = cold_s / warm_s
+    n_units = len(plan)
+    emit(
+        "sweep_cache",
+        f"sweep matrix: {n_units} units, n_runs={N_RUNS}, "
+        f"scale={SCALE if SCALE is not None else 'default'}\n"
+        f"cold: {cold_s * 1e3:9.1f} ms  "
+        f"({json.dumps(cold_store.stats.as_dict())})\n"
+        f"warm: {warm_s * 1e3:9.1f} ms  "
+        f"({json.dumps(warm_store.stats.as_dict())})\n"
+        f"warm speedup: {speedup:.1f}x  (gate: >= {WARM_SPEEDUP_FLOOR}x)\n",
+    )
+    emit_json(
+        "sweep_cache",
+        {
+            "n_units": n_units,
+            "n_runs": N_RUNS,
+            "scale": SCALE,
+            "seeds": [u.seed for u in plan],
+            "smoke": SMOKE,
+        },
+        cold_s,
+        {"cold": cold_s, "warm": warm_s},
+    )
+
+    # The headline gate: a warm store skips simulation AND analysis, so
+    # even a 1-core runner must clear this by a wide margin.
+    assert speedup >= WARM_SPEEDUP_FLOOR, (
+        f"warm sweep only {speedup:.1f}x faster than cold "
+        f"({warm_s:.3f}s vs {cold_s:.3f}s)"
+    )
+    shutdown_pool()

@@ -20,7 +20,10 @@ from repro.analysis import render_metric_rows
 from repro.experiments import run_scenario, table1
 
 
-def test_table1_move_distances(once, emit):
+def test_table1_move_distances(once, emit, bench_params):
+    from repro.experiments import SCENARIOS
+
+    bench_params(seeds={sc.key: sc.seed for sc in SCENARIOS})
     rows = once(lambda: table1())
     emit(
         "table1_edit_distances",

@@ -11,7 +11,8 @@ import numpy as np
 from repro.experiments import SCENARIOS, render_table2_text, run_scenario, table2
 
 
-def test_table2_all_environments(once, emit):
+def test_table2_all_environments(once, emit, bench_params):
+    bench_params(seeds={sc.key: sc.seed for sc in SCENARIOS})
     rows = once(lambda: table2())
     emit("table2_summary", render_table2_text())
 
@@ -45,7 +46,8 @@ def test_table2_all_environments(once, emit):
             assert r["O"] == 0.0
 
 
-def test_paper_conclusion_deltas(once, emit):
+def test_paper_conclusion_deltas(once, emit, bench_params):
+    bench_params(seeds={sc.key: sc.seed for sc in SCENARIOS})
     """Section 10's quantified conclusions.
 
     'ideal FABRIC environments are only slightly (decrease of around 0.04

@@ -10,7 +10,12 @@ Mirrors the artifact's workflow from a shell:
   path: exact streaming metrics per run (:mod:`repro.analysis.streamkappa`)
   plus windowed κ with live degradation flagging;
 * ``repro table1`` / ``repro table2`` — regenerate the paper's tables;
-* ``repro figure <id>`` — regenerate one figure's series (e.g. ``4a``).
+* ``repro figure <id>`` — regenerate one figure's series (e.g. ``4a``);
+* ``repro sweep`` — run a scenario × seed matrix through the persistent
+  content-addressed artifact store (:mod:`repro.sweep`): completed units
+  are deduplicated and a killed sweep resumes from its last finished
+  unit; ``--store``/``REPRO_STORE`` points the other scenario-driven
+  commands at the same store so they reuse and feed it.
 
 All commands honor ``--scale`` (capture duration relative to the paper's
 0.3 s; default from ``REPRO_SCALE`` or 0.25) and print plain text so
@@ -52,6 +57,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--jobs", type=int, default=None, metavar="N",
             help="worker processes for simulation and analysis (default "
             "REPRO_JOBS or 1; output is identical at any N)",
+        )
+        p.add_argument(
+            "--store", default=None, metavar="DIR",
+            help="persistent artifact store for simulated series (default "
+            "REPRO_STORE if set; results are identical with or without it)",
         )
         add_obs(p)
 
@@ -120,6 +130,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", default="report", help="output directory")
     p.add_argument("--scale", type=float, default=None)
     p.add_argument("--no-svg", action="store_true", help="skip SVG figure rendering")
+    add_jobs(p)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a scenario x seed matrix through the artifact store",
+    )
+    p.add_argument(
+        "scenario", nargs="*",
+        help="scenario keys to sweep (default: all nine environments)",
+    )
+    p.add_argument(
+        "--seeds", default=None, metavar="S1,S2,...",
+        help="comma-separated seeds applied to every scenario (default: "
+        "each scenario's registered seed)",
+    )
+    p.add_argument("--runs", type=int, default=5, help="runs per unit (default 5)")
+    p.add_argument("--scale", type=float, default=None,
+                   help="duration scale (default REPRO_SCALE)")
+    p.add_argument(
+        "--resume", action=argparse.BooleanOptionalAction, default=True,
+        help="reuse completed units from the store (default; --no-resume "
+        "recomputes and rewrites every unit)",
+    )
+    p.add_argument(
+        "-o", "--output", default=None, metavar="DIR",
+        help="write sweep.json + sweep_telemetry.json into DIR",
+    )
     add_jobs(p)
 
     p = sub.add_parser("figure", help="regenerate one figure's series")
@@ -249,6 +286,64 @@ def _cmd_monitor(args) -> int:
     return 1 if (args.fail_on_degraded and n_degraded) else 0
 
 
+def _cmd_sweep(args) -> int:
+    import os
+
+    from .experiments.scenarios import default_duration_scale
+    from .sweep import (
+        ArtifactStore,
+        plan_from_scenarios,
+        render_sweep_summary,
+        run_sweep,
+        write_sweep_report,
+    )
+
+    seeds = None
+    if args.seeds:
+        try:
+            seeds = [int(tok) for tok in args.seeds.split(",") if tok.strip()]
+        except ValueError:
+            print(f"sweep: --seeds must be integers, got {args.seeds!r}",
+                  file=sys.stderr)
+            return 2
+    scale = args.scale if args.scale is not None else default_duration_scale()
+    try:
+        plan = plan_from_scenarios(
+            args.scenario or None, seeds=seeds, n_runs=args.runs,
+            duration_scale=scale,
+        )
+    except KeyError as exc:
+        print(f"sweep: {exc.args[0]}", file=sys.stderr)
+        return 2
+    store_dir = args.store or os.environ.get("REPRO_STORE") or ".repro-store"
+    store = ArtifactStore(store_dir)
+    matrix = {
+        "scenarios": sorted({u.name for u in plan}),
+        "seeds": seeds if seeds else "registered",
+        "n_runs": args.runs,
+        "duration_scale": scale,
+    }
+    print(
+        f"sweeping {len(plan)} units through {store_dir} "
+        f"(resume={'on' if args.resume else 'off'})",
+        file=sys.stderr,
+    )
+    result = run_sweep(
+        plan, store, jobs=args.jobs, resume=args.resume, matrix=matrix
+    )
+    print(render_sweep_summary(result, plan))
+    s = store.stats
+    print(
+        f"store: {s.hits} hits, {s.misses} misses, {s.writes} writes, "
+        f"{s.corrupt} corrupt, {s.races} races",
+        file=sys.stderr,
+    )
+    if args.output:
+        report_path, telemetry_path = write_sweep_report(result, args.output)
+        print(f"wrote {report_path} and {telemetry_path}", file=sys.stderr)
+    return 0
+
+
 def _cmd_table1(args) -> int:
     from .experiments import render_table1_text
 
@@ -340,6 +435,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "analyze": _cmd_analyze,
     "monitor": _cmd_monitor,
+    "sweep": _cmd_sweep,
     "table1": _cmd_table1,
     "table2": _cmd_table2,
     "figure": _cmd_figure,
@@ -362,6 +458,13 @@ def main(argv: list[str] | None = None) -> int:
     from .parallel.pool import shutdown_pool
 
     args = build_parser().parse_args(argv)
+    if getattr(args, "store", None) and args.command != "sweep":
+        # Scenario-driven commands (tables, figures, validate, report,
+        # simulate) read and feed the persistent series store; the sweep
+        # command manages its own store instance.
+        from .experiments.runner import configure_store
+
+        configure_store(args.store)
     trace_path = getattr(args, "trace", None) or os.environ.get("REPRO_TRACE")
     want_stats = bool(getattr(args, "stats", False))
     if trace_path or want_stats:

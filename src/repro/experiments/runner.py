@@ -15,9 +15,19 @@ are exactly equal to their serial paths, so figure and table reproductions are
 byte-stable under any job count.  The series cache is therefore keyed
 *without* the job count: trials simulated at any ``jobs`` are
 interchangeable bit-for-bit.
+
+Persistence: the in-process cache dies with the process; ``--store DIR``
+(or ``REPRO_STORE=DIR``, or :func:`configure_store`) backs it with the
+content-addressed artifact store of :mod:`repro.sweep.store`, so a
+Table-2 / figure / validation driver reuses any series ever simulated
+for the same content digest — including entries written by ``repro
+sweep`` — and feeds its own misses back in.  The digest is jobs-free and
+start-method-free, like the in-process key.
 """
 
 from __future__ import annotations
+
+import os
 
 from ..core.report import RunSeriesReport, compare_series
 from ..core.trial import Trial
@@ -26,7 +36,13 @@ from ..obs.trace import span
 from ..testbeds import EnvironmentProfile, Testbed
 from .scenarios import scenario
 
-__all__ = ["run_trials", "run_scenario", "run_scenario_trials", "analyze_trials"]
+__all__ = [
+    "run_trials",
+    "run_scenario",
+    "run_scenario_trials",
+    "analyze_trials",
+    "configure_store",
+]
 
 
 def analyze_trials(
@@ -74,6 +90,39 @@ def run_trials(
 _series_cache: dict = {}
 _SERIES_CACHE_MAX = 32
 
+#: The persistent artifact store behind the in-process cache:
+#: ``configure_store`` (or ``--store`` / ``REPRO_STORE``) makes scenario
+#: series durable across invocations.  ``False`` = not yet resolved.
+_store = False
+
+
+def configure_store(store) -> None:
+    """Install the persistent series store used on in-process cache misses.
+
+    ``store`` is an :class:`repro.sweep.ArtifactStore`, a directory path
+    to create one over, or ``None`` to disable persistence (which also
+    stops ``REPRO_STORE`` from being consulted this process).  The store
+    is keyed by content digest — scenario profile × seed scheme × series
+    length — never by job count or pool start method, so any invocation
+    shape shares entries (see :mod:`repro.sweep.store`).
+    """
+    global _store
+    if store is None or hasattr(store, "get"):
+        _store = store
+    else:
+        from ..sweep.store import ArtifactStore
+
+        _store = ArtifactStore(store)
+
+
+def _persistent_store():
+    """The configured store, resolving ``REPRO_STORE`` lazily once."""
+    global _store
+    if _store is False:
+        path = os.environ.get("REPRO_STORE")
+        configure_store(path if path else None)
+    return _store
+
 
 def _cached_series(
     key: str,
@@ -91,11 +140,34 @@ def _cached_series(
     sc = scenario(key)
     profile = sc.profile(duration_scale)
     seed = sc.seed if seed_override is None else seed_override
+
+    store = _persistent_store()
+    digest = None
+    if store is not None:
+        from ..sweep.store import compute_digest
+
+        digest = compute_digest(profile, seed, n_runs)
+        entry = store.get(digest)
+        if entry is not None:
+            metrics.counter("runner.store_hits").add()
+            result = (entry.trials, profile.name)
+            if len(_series_cache) >= _SERIES_CACHE_MAX:
+                _series_cache.pop(next(iter(_series_cache)))
+            _series_cache[cache_key] = result
+            return result
+        metrics.counter("runner.store_misses").add()
+
     with span(
         "experiment.scenario", key=key, seed=seed, n_runs=n_runs
     ):
         trials = Testbed(profile, seed=seed).run_series(n_runs, jobs=jobs)
     result = (tuple(trials), profile.name)
+    if digest is not None:
+        from ..sweep.store import digest_key_doc
+
+        store.put(
+            digest, result[0], key=digest_key_doc(profile, seed, n_runs)
+        )
     if len(_series_cache) >= _SERIES_CACHE_MAX:
         _series_cache.pop(next(iter(_series_cache)))
     _series_cache[cache_key] = result

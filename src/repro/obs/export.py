@@ -38,7 +38,46 @@ __all__ = [
     "write_spans_jsonl",
     "stats_table",
     "validate_chrome_trace",
+    "host_context",
+    "usable_cores",
 ]
+
+
+def usable_cores() -> int:
+    """Cores this process may actually schedule on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def host_context() -> dict:
+    """The measurement-context block every performance artifact records.
+
+    One schema for benchmark JSONs (``benchmarks/_emit.py`` delegates
+    here) and sweep telemetry (:mod:`repro.sweep.coordinator`): a timing
+    or speedup number is meaningless without the usable core count,
+    affinity mask and pool start method it was measured under, so perf
+    gates can condition on the machine actually measured.
+    """
+    import multiprocessing
+
+    try:
+        affinity = sorted(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        affinity = list(range(os.cpu_count() or 1))
+    try:
+        from ..parallel.pool import pool_start_method
+
+        start_method = pool_start_method()
+    except Exception:  # pragma: no cover - defensive
+        start_method = multiprocessing.get_start_method()
+    return {
+        "usable_cores": usable_cores(),
+        "cpu_count": os.cpu_count() or 1,
+        "cpu_affinity": affinity,
+        "pool_start_method": start_method,
+    }
 
 
 def _spans_or_buffer(spans) -> list[trace.SpanRecord]:

@@ -1,0 +1,387 @@
+"""The resumable sweep orchestrator: expand, deduplicate, fan out, merge.
+
+A *sweep* evaluates a scenario × seed matrix — the shape behind Table 2,
+every figure series, and the PASTRAMI-style many-run stability screens —
+as a list of independent **work units** (one trial series + its Section-3
+analysis each).  The coordinator:
+
+1. expands the matrix into a deterministic work plan
+   (:func:`plan_from_scenarios` for registered scenarios,
+   :func:`plan_unit` for ad-hoc profiles);
+2. probes the :class:`~repro.sweep.store.ArtifactStore` and satisfies
+   hits without simulating anything;
+3. fans misses out over the persistent worker pool
+   (:mod:`repro.parallel.pool`) — one unit per task, computed with the
+   *serial* simulation and analysis paths worker-side so the stored and
+   merged bits equal ``analyze_trials`` exactly;
+4. persists each finished unit **immediately and atomically**, so a
+   killed sweep resumes from its last completed unit, not from zero;
+5. merges the per-unit reports, in plan order, into one machine-readable
+   sweep report plus a separate telemetry document.
+
+Determinism contract (pinned by ``tests/test_sweep_differential.py``):
+the merged report (:attr:`SweepResult.report`, serialized by
+:func:`write_sweep_report` as ``sweep.json``) is **byte-identical**
+across job counts, cold/warm caches, and kill + ``--resume`` cycles.
+Everything run-dependent — wall times, hit/miss tallies, host context,
+merged worker telemetry — lives in the *telemetry* document
+(``sweep_telemetry.json``), which extends the ``benchmarks/_emit.py``
+bench-artifact schema (``bench``/``params``/``host``/``wall_s``/
+``per_stage``) with a ``store`` block and the drained
+:mod:`repro.obs.metrics` counters.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import as_completed
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.report import RunSeriesReport, compare_series
+from ..core.trial import Trial
+from ..experiments.scenarios import default_duration_scale, scenario
+from ..obs import metrics
+from ..obs.export import host_context
+from ..obs.trace import span
+from ..parallel.shard import default_jobs
+from ..testbeds.base import Testbed
+from ..testbeds.profiles import EnvironmentProfile
+from .codec import series_report_from_dict, series_report_to_dict
+from .store import ArtifactStore, compute_digest, digest_key_doc
+
+__all__ = [
+    "SweepUnit",
+    "SweepResult",
+    "plan_unit",
+    "plan_from_scenarios",
+    "run_sweep",
+    "write_sweep_report",
+    "render_sweep_summary",
+    "SWEEP_REPORT_SCHEMA",
+]
+
+#: Version of the merged sweep report document.
+SWEEP_REPORT_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class SweepUnit:
+    """One work unit: a (profile, seed) cell of the sweep matrix."""
+
+    name: str
+    profile: EnvironmentProfile
+    seed: int
+    n_runs: int
+    digest: str
+
+    @property
+    def environment(self) -> str:
+        return self.profile.name
+
+
+def plan_unit(
+    name: str, profile: EnvironmentProfile, seed: int, n_runs: int
+) -> SweepUnit:
+    """Build one unit, computing its content digest."""
+    return SweepUnit(
+        name=name,
+        profile=profile,
+        seed=int(seed),
+        n_runs=int(n_runs),
+        digest=compute_digest(profile, seed, n_runs),
+    )
+
+
+def plan_from_scenarios(
+    keys: list[str] | None = None,
+    *,
+    seeds: list[int] | None = None,
+    n_runs: int = 5,
+    duration_scale: float | None = None,
+) -> list[SweepUnit]:
+    """Expand registered scenarios × seeds into a deterministic plan.
+
+    ``keys=None`` sweeps all nine Table-2 environments; ``seeds=None``
+    uses each scenario's registered seed (the exact series the figure and
+    table drivers consume), while an explicit seed list is applied to
+    every scenario (the many-seed stability-screen shape).  Plan order is
+    scenario-major in registry order, then seed order — the merge order
+    of the final report.
+    """
+    from ..experiments.scenarios import SCENARIOS
+
+    keys = list(keys) if keys else [sc.key for sc in SCENARIOS]
+    scale = duration_scale if duration_scale is not None else default_duration_scale()
+    plan = []
+    for key in keys:
+        sc = scenario(key)
+        profile = sc.profile(scale)
+        for seed in seeds if seeds else [sc.seed]:
+            plan.append(plan_unit(sc.key, profile, seed, n_runs))
+    return plan
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Everything one sweep produced."""
+
+    #: Deterministic merged report (the ``sweep.json`` payload).
+    report: dict
+    #: Run-dependent context (the ``sweep_telemetry.json`` payload).
+    telemetry: dict
+    #: Decoded per-unit series reports, in plan order.
+    series: tuple[RunSeriesReport, ...]
+    #: Per-unit cache outcome, in plan order: ``"hit"`` or ``"miss"``.
+    outcomes: tuple[str, ...]
+
+
+# -- the fan-out unit ------------------------------------------------------
+
+def _compute_unit(task: tuple) -> tuple[list[Trial], dict]:
+    """Simulate and analyze one unit with the serial reference paths.
+
+    Runs in a worker process (or in-process at ``jobs=1``).  Everything
+    here is deliberately serial — ``run_series(jobs=1)`` plus
+    ``compare_series`` — so a stored artifact is the bit-exact output of
+    ``analyze_trials`` regardless of how the *sweep* fans out.  The
+    report travels codec-encoded: the same bytes that will be stored and
+    merged, so no float ever takes a detour through repr-and-back twice.
+    """
+    profile, seed, n_runs = task
+    with span(
+        "sweep.unit", environment=profile.name, seed=int(seed), n_runs=int(n_runs)
+    ):
+        trials = Testbed(profile, seed=seed).run_series(n_runs, jobs=1)
+        report = compare_series(trials, environment=profile.name)
+    metrics.counter("sweep.units_computed").add()
+    return trials, series_report_to_dict(report)
+
+
+def _compute_unit_remote(task: tuple) -> tuple[list[Trial], dict, dict]:
+    """Worker-side wrapper: compute, then drain this worker's metrics.
+
+    The drained deltas ride back on the result so the parent can merge
+    worker telemetry even on untraced runs (traced runs additionally ship
+    spans through the pool's envelope machinery).
+    """
+    trials, report = _compute_unit(task)
+    return trials, report, metrics.REGISTRY.drain_deltas()
+
+
+# -- the orchestrator ------------------------------------------------------
+
+def run_sweep(
+    plan: list[SweepUnit],
+    store: ArtifactStore | None = None,
+    *,
+    jobs: int | None = None,
+    resume: bool = True,
+    matrix: dict | None = None,
+) -> SweepResult:
+    """Run a sweep plan through the store and the worker pool.
+
+    ``resume=True`` (the default) satisfies units from existing store
+    entries; ``resume=False`` recomputes every unit and rewrites its
+    entry (a "fresh" sweep).  With ``store=None`` nothing persists and
+    every unit computes.  ``jobs`` defaults to ``REPRO_JOBS`` or serial.
+
+    Duplicate digests in the plan (the same cell listed twice) compute at
+    most once; every occurrence receives the identical result.
+    """
+    jobs = default_jobs() if jobs is None else int(jobs)
+    t_start = time.perf_counter()
+    per_stage: dict[str, float] = {}
+
+    # -- stage 1: probe the store -----------------------------------------
+    t0 = time.perf_counter()
+    results: dict[str, tuple[tuple[Trial, ...], dict]] = {}
+    outcomes: dict[str, str] = {}
+    with span("sweep.probe", n_units=len(plan)):
+        for unit in plan:
+            if unit.digest in results:
+                continue
+            if store is not None and resume:
+                entry = store.get(unit.digest)
+                if entry is not None and entry.report is not None:
+                    results[unit.digest] = (
+                        entry.trials, series_report_to_dict(entry.report)
+                    )
+                    outcomes[unit.digest] = "hit"
+                    continue
+                if entry is not None:
+                    # Trials cached (e.g. by a runner-side simulate) but
+                    # analysis missing: compute it here and upgrade the
+                    # entry in place — still no re-simulation.
+                    report = compare_series(
+                        list(entry.trials), environment=unit.environment
+                    )
+                    encoded = series_report_to_dict(report)
+                    store.put(
+                        unit.digest, entry.trials, report,
+                        key=digest_key_doc(unit.profile, unit.seed, unit.n_runs),
+                    )
+                    results[unit.digest] = (entry.trials, encoded)
+                    outcomes[unit.digest] = "hit"
+                    continue
+            outcomes[unit.digest] = "miss"
+    per_stage["probe"] = time.perf_counter() - t0
+
+    # -- stage 2: compute the misses --------------------------------------
+    t0 = time.perf_counter()
+    misses = []
+    seen = set()
+    for unit in plan:
+        if outcomes[unit.digest] == "miss" and unit.digest not in seen:
+            seen.add(unit.digest)
+            misses.append(unit)
+    metrics.counter("sweep.units_hit").add(len(results))
+    metrics.counter("sweep.units_missed").add(len(misses))
+
+    def _persist(unit: SweepUnit, trials, report_doc: dict) -> None:
+        trials = tuple(trials)
+        results[unit.digest] = (trials, report_doc)
+        if store is not None:
+            store.put(
+                unit.digest,
+                trials,
+                series_report_from_dict(report_doc),
+                key=digest_key_doc(unit.profile, unit.seed, unit.n_runs),
+            )
+
+    if misses:
+        with span("sweep.compute", n_units=len(misses), jobs=jobs):
+            if jobs > 1 and len(misses) > 1:
+                from ..parallel.pool import get_pool, submit_task
+
+                pool = get_pool(jobs)
+                futures = {}
+                for unit in misses:
+                    f = submit_task(
+                        pool,
+                        _compute_unit_remote,
+                        (unit.profile, unit.seed, unit.n_runs),
+                        name="sweep.unit.remote",
+                        environment=unit.environment,
+                        seed=unit.seed,
+                    )
+                    futures[f] = unit
+                try:
+                    # Persist in completion order: a killed sweep keeps
+                    # every finished unit, whatever the schedule was.
+                    for f in as_completed(futures):
+                        trials, report_doc, deltas = f.result()
+                        metrics.REGISTRY.merge_deltas(deltas)
+                        _persist(futures[f], trials, report_doc)
+                except BaseException:
+                    for f in futures:
+                        f.cancel()
+                    raise
+            else:
+                for unit in misses:
+                    trials, report_doc = _compute_unit(
+                        (unit.profile, unit.seed, unit.n_runs)
+                    )
+                    _persist(unit, trials, report_doc)
+    per_stage["compute"] = time.perf_counter() - t0
+
+    # -- stage 3: merge, in plan order ------------------------------------
+    t0 = time.perf_counter()
+    with span("sweep.merge", n_units=len(plan)):
+        unit_rows = []
+        series = []
+        outcome_list = []
+        for unit in plan:
+            _, report_doc = results[unit.digest]
+            report = series_report_from_dict(report_doc)
+            series.append(report)
+            outcome_list.append(outcomes[unit.digest])
+            unit_rows.append({
+                "scenario": unit.name,
+                "environment": unit.environment,
+                "seed": unit.seed,
+                "n_runs": unit.n_runs,
+                "digest": unit.digest,
+                "mean": report.mean_row(),
+                "runs": report.run_rows(),
+            })
+        merged = {
+            "schema": SWEEP_REPORT_SCHEMA,
+            "kind": "sweep-report",
+            "matrix": dict(matrix or {}),
+            "n_units": len(plan),
+            "units": unit_rows,
+        }
+    per_stage["merge"] = time.perf_counter() - t0
+
+    n_hits = sum(1 for o in outcome_list if o == "hit")
+    telemetry = {
+        "bench": "sweep",
+        "params": {
+            "n_units": len(plan),
+            "jobs": jobs,
+            "resume": resume,
+            "matrix": dict(matrix or {}),
+        },
+        "host": host_context(),
+        "wall_s": time.perf_counter() - t_start,
+        "per_stage": per_stage,
+        "store": store.stats.as_dict() if store is not None else None,
+        "cache": {"hits": n_hits, "misses": len(plan) - n_hits},
+        "metrics": {
+            name: value
+            for name, value in sorted(
+                metrics.REGISTRY.snapshot()["counters"].items()
+            )
+            if name.startswith(("sweep.", "pool.", "testbed."))
+        },
+    }
+    return SweepResult(
+        report=merged,
+        telemetry=telemetry,
+        series=tuple(series),
+        outcomes=tuple(outcome_list),
+    )
+
+
+def write_sweep_report(result: SweepResult, outdir: str | Path) -> tuple[Path, Path]:
+    """Write ``sweep.json`` (deterministic) + ``sweep_telemetry.json``.
+
+    ``sweep.json`` bytes depend only on the plan and the simulated
+    content — diffing two of them is the sweep-level exactness check the
+    CI smoke job performs.
+    """
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    report_path = outdir / "sweep.json"
+    report_path.write_text(
+        json.dumps(result.report, sort_keys=True, indent=1) + "\n"
+    )
+    telemetry_path = outdir / "sweep_telemetry.json"
+    telemetry_path.write_text(
+        json.dumps(result.telemetry, sort_keys=True, indent=1) + "\n"
+    )
+    return report_path, telemetry_path
+
+
+def render_sweep_summary(result: SweepResult, plan: list[SweepUnit]) -> str:
+    """The human table: one row per unit with κ and its cache outcome."""
+    from ..analysis.textplot import render_metric_rows
+
+    rows = []
+    for unit, report, outcome in zip(plan, result.series, result.outcomes):
+        row = report.mean_row()
+        rows.append({
+            "scenario": unit.name,
+            "seed": unit.seed,
+            "U": row["U"],
+            "O": row["O"],
+            "I": row["I"],
+            "L": row["L"],
+            "kappa": row["kappa"],
+            "cache": outcome,
+        })
+    return render_metric_rows(
+        rows, columns=["scenario", "seed", "U", "O", "I", "L", "kappa", "cache"]
+    )

@@ -1,0 +1,368 @@
+"""The persistent, content-addressed artifact store behind ``repro sweep``.
+
+``run_series`` memoization (:mod:`repro.experiments.runner`) dies with the
+process; every new invocation of a Table-2 / figure / validation driver
+re-simulates series it has produced a thousand times before.  This module
+makes those results durable: a **digest-keyed** store mapping the full
+content of a work unit — environment profile × seed scheme × series
+length × analysis code version — to its simulated :class:`Trial` series
+and (optionally) its Section-3 :class:`RunSeriesReport`.
+
+Digest scheme
+-------------
+The key document (:func:`digest_key_doc`) contains **only values that
+determine the simulated bits**:
+
+* the canonical profile JSON (:func:`repro.testbeds.canonical_profile_json`)
+  — duration scale is inside it, because ``at_duration`` rewrites the
+  profile;
+* the series seed and series index (the
+  :func:`repro.testbeds.base.series_seed_plan` inputs) and ``n_runs``;
+* ``ANALYSIS_VERSION`` — bumped when the metric code changes output —
+  and the store schema version.
+
+It deliberately excludes job counts, pool start methods, host facts and
+wall-clock anything: the engine's differential suites prove output is
+invariant under all of them, so a series simulated at ``jobs=4`` under
+``spawn`` must hit the cache entry written at ``jobs=1`` under
+``forkserver`` (the same rule the in-process ``run_series`` cache
+follows; pinned by ``tests/test_sweep_differential.py``).
+
+Store layout (under ``<root>/v<schema>/``)::
+
+    <digest[:2]>/<digest>/
+        entry.json      # schema, key doc, labels, per-file sha256 checksums
+        run-<k>.cho     # binary captures (repro.analysis.capture), k = run index
+        run-<k>.cho.json  # capture sidecars (label + meta)
+        report.json     # optional codec-encoded RunSeriesReport
+
+Write discipline: an entry is assembled in ``<root>/tmp/`` (payloads
+fsynced) and published with one atomic ``os.replace`` — readers can never
+observe a half-written entry.  Losing a publish race to a concurrent
+writer is harmless (both writers derived identical content from the same
+digest) and is counted, not raised.
+
+Read discipline: every payload byte is verified against the entry's
+sha256 manifest before anything is decoded, and every decode failure —
+truncation, bit flips, stale schema, a vanished file — degrades to a
+counted cache miss (``sweep.store.corrupt``): the corrupted entry is
+quarantined (removed) so the caller recomputes and rewrites.  Corruption
+is **never** an exception and can never yield a silently wrong κ; the
+fault-injection suite (``tests/test_sweep_store_faults.py``) drives every
+one of these paths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..analysis.capture import read_capture, write_capture
+from ..core.report import RunSeriesReport
+from ..core.trial import Trial
+from ..obs import metrics
+from ..obs.trace import span
+from ..testbeds.profiles import EnvironmentProfile
+from ..testbeds.serialization import canonical_profile_json
+from .codec import series_report_from_dict, series_report_to_dict
+
+__all__ = [
+    "ArtifactStore",
+    "StoredEntry",
+    "StoreStats",
+    "compute_digest",
+    "digest_key_doc",
+    "STORE_SCHEMA_VERSION",
+    "ANALYSIS_VERSION",
+]
+
+#: On-disk layout version; entries of any other version are recomputed.
+STORE_SCHEMA_VERSION = 1
+
+#: Version of the analysis code whose outputs the store caches.  Bump
+#: whenever a change legitimately alters simulated trials or Section-3
+#: metric bits — stale entries then miss instead of resurrecting old
+#: results.
+ANALYSIS_VERSION = 1
+
+
+def digest_key_doc(
+    profile: EnvironmentProfile,
+    seed: int,
+    n_runs: int,
+    series_index: int = 0,
+) -> dict:
+    """The canonical key document a work unit digests to.
+
+    Raises ``ValueError`` for profiles that cannot be canonicalized
+    (custom ``workload`` objects) — such units are not cacheable.
+    """
+    return {
+        "schema": STORE_SCHEMA_VERSION,
+        "analysis": ANALYSIS_VERSION,
+        "profile": canonical_profile_json(profile),
+        "seed": int(seed),
+        "series_index": int(series_index),
+        "n_runs": int(n_runs),
+    }
+
+
+def compute_digest(
+    profile: EnvironmentProfile,
+    seed: int,
+    n_runs: int,
+    series_index: int = 0,
+) -> str:
+    """sha256 hex digest of the canonical key document."""
+    doc = digest_key_doc(profile, seed, n_runs, series_index)
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class StoredEntry:
+    """One artifact loaded (and verified) from the store."""
+
+    digest: str
+    trials: tuple[Trial, ...]
+    report: RunSeriesReport | None
+    key: dict
+
+
+@dataclass
+class StoreStats:
+    """Per-instance operation tallies (the global registry twin)."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt: int = 0
+    races: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt": self.corrupt,
+            "races": self.races,
+        }
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class ArtifactStore:
+    """Digest-keyed persistent cache of trial series and their reports."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.stats = StoreStats()
+
+    # -- paths ------------------------------------------------------------
+    @property
+    def _version_root(self) -> Path:
+        return self.root / f"v{STORE_SCHEMA_VERSION}"
+
+    def entry_dir(self, digest: str) -> Path:
+        """Where an entry for ``digest`` lives (existing or not)."""
+        return self._version_root / digest[:2] / digest
+
+    # -- read side ---------------------------------------------------------
+    def get(self, digest: str) -> StoredEntry | None:
+        """The verified entry for ``digest``, or ``None`` (counted miss).
+
+        Any integrity failure quarantines the entry and reports a miss;
+        this method never raises for on-disk damage.
+        """
+        with span("sweep.store.get", digest=digest[:12]):
+            entry = self._load_verified(digest)
+        if entry is None:
+            self.stats.misses += 1
+            metrics.counter("sweep.store.misses").add()
+        else:
+            self.stats.hits += 1
+            metrics.counter("sweep.store.hits").add()
+        return entry
+
+    def _load_verified(self, digest: str) -> StoredEntry | None:
+        d = self.entry_dir(digest)
+        if not (d / "entry.json").exists():
+            return None
+        try:
+            meta = json.loads((d / "entry.json").read_text())
+        except (OSError, ValueError):
+            return self._quarantine(digest, "entry-unreadable")
+        if not isinstance(meta, dict) or meta.get("schema") != STORE_SCHEMA_VERSION:
+            return self._quarantine(digest, "stale-schema")
+        if meta.get("digest") != digest:
+            return self._quarantine(digest, "digest-mismatch")
+        files = meta.get("files")
+        labels = meta.get("labels")
+        if not isinstance(files, dict) or not isinstance(labels, list) or not labels:
+            return self._quarantine(digest, "entry-malformed")
+        # Verify every payload byte before decoding anything.
+        for name, want_sha in files.items():
+            try:
+                data = (d / name).read_bytes()
+            except OSError:
+                return self._quarantine(digest, "payload-missing")
+            if _sha256(data) != want_sha:
+                return self._quarantine(digest, "payload-checksum")
+        expected = {f"run-{k}.cho" for k in range(len(labels))}
+        expected |= {f"run-{k}.cho.json" for k in range(len(labels))}
+        if meta.get("has_report"):
+            expected.add("report.json")
+        if set(files) != expected:
+            return self._quarantine(digest, "manifest-mismatch")
+        try:
+            trials = []
+            for k, label in enumerate(labels):
+                t = read_capture(d / f"run-{k}.cho", mmap=False)
+                # The capture header truncates labels to 12 bytes; the
+                # manifest keeps the authoritative full label.
+                trials.append(t if t.label == label else t.relabel(label))
+            report = None
+            if meta.get("has_report"):
+                report = series_report_from_dict(
+                    json.loads((d / "report.json").read_text())
+                )
+        except Exception:
+            return self._quarantine(digest, "payload-decode")
+        return StoredEntry(
+            digest=digest,
+            trials=tuple(trials),
+            report=report,
+            key=meta.get("key", {}),
+        )
+
+    def _quarantine(self, digest: str, reason: str) -> None:
+        """Count and remove a damaged entry so the caller rewrites it."""
+        self.stats.corrupt += 1
+        metrics.counter("sweep.store.corrupt").add()
+        metrics.counter(f"sweep.store.corrupt.{reason}").add()
+        shutil.rmtree(self.entry_dir(digest), ignore_errors=True)
+        return None
+
+    # -- write side --------------------------------------------------------
+    def put(
+        self,
+        digest: str,
+        trials: list[Trial] | tuple[Trial, ...],
+        report: RunSeriesReport | None = None,
+        key: dict | None = None,
+    ) -> bool:
+        """Atomically publish an entry; ``True`` if this call wrote it.
+
+        Content is assembled under ``<root>/tmp`` and renamed into place
+        in one step.  Losing the rename race to a concurrent writer of
+        the same digest returns ``False`` (their content is identical by
+        construction) and is counted in ``sweep.store.races``.
+        """
+        if not trials:
+            raise ValueError("an entry needs at least one trial")
+        with span("sweep.store.put", digest=digest[:12], n_trials=len(trials)):
+            tmp_root = self.root / "tmp"
+            tmp_root.mkdir(parents=True, exist_ok=True)
+            token = f"{os.getpid()}-{os.urandom(4).hex()}"
+            tmp = tmp_root / f"{digest}.{token}"
+            tmp.mkdir()
+            try:
+                files: dict[str, str] = {}
+                labels = []
+                for k, t in enumerate(trials):
+                    name = f"run-{k}.cho"
+                    write_capture(t, tmp / name, sidecar=True)
+                    files[name] = _sha256((tmp / name).read_bytes())
+                    files[f"{name}.json"] = _sha256((tmp / f"{name}.json").read_bytes())
+                    labels.append(t.label)
+                if report is not None:
+                    blob = json.dumps(
+                        series_report_to_dict(report), sort_keys=True, indent=1
+                    ) + "\n"
+                    (tmp / "report.json").write_text(blob)
+                    files["report.json"] = _sha256(blob.encode())
+                meta = {
+                    "schema": STORE_SCHEMA_VERSION,
+                    "digest": digest,
+                    "key": dict(key or {}),
+                    "labels": labels,
+                    "has_report": report is not None,
+                    "files": files,
+                }
+                (tmp / "entry.json").write_text(
+                    json.dumps(meta, sort_keys=True, indent=1) + "\n"
+                )
+                self._fsync_dir_contents(tmp)
+                final = self.entry_dir(digest)
+                final.parent.mkdir(parents=True, exist_ok=True)
+                try:
+                    os.replace(tmp, final)
+                except OSError:
+                    # The entry already exists.  If ours is strictly
+                    # richer (we carry the analysis, the published entry
+                    # is trials-only — the runner-write / sweep-upgrade
+                    # shape), evict the old entry and publish; otherwise
+                    # a concurrent writer beat us to identical content.
+                    if report is not None and not self._has_report(final):
+                        old = tmp_root / f"{digest}.old-{token}"
+                        try:
+                            os.replace(final, old)
+                            os.replace(tmp, final)
+                        except OSError:
+                            self.stats.races += 1
+                            metrics.counter("sweep.store.races").add()
+                            return False
+                        finally:
+                            shutil.rmtree(old, ignore_errors=True)
+                        self.stats.writes += 1
+                        metrics.counter("sweep.store.writes").add()
+                        return True
+                    self.stats.races += 1
+                    metrics.counter("sweep.store.races").add()
+                    return False
+                self.stats.writes += 1
+                metrics.counter("sweep.store.writes").add()
+                return True
+            finally:
+                shutil.rmtree(tmp, ignore_errors=True)
+
+    @staticmethod
+    def _has_report(entry_dir: Path) -> bool:
+        """Whether a published entry already carries its analysis."""
+        try:
+            meta = json.loads((entry_dir / "entry.json").read_text())
+            return bool(meta.get("has_report"))
+        except (OSError, ValueError):
+            return False  # damaged or half-gone: let the writer replace it
+
+    @staticmethod
+    def _fsync_dir_contents(d: Path) -> None:
+        """Flush the staged payloads before publishing the rename."""
+        try:
+            for p in d.iterdir():
+                fd = os.open(p, os.O_RDONLY)
+                try:
+                    os.fsync(fd)
+                finally:
+                    os.close(fd)
+        except OSError:  # pragma: no cover - fsync is best-effort
+            pass
+
+    # -- maintenance -------------------------------------------------------
+    def entries(self) -> list[str]:
+        """Digests currently published under the live schema version."""
+        if not self._version_root.exists():
+            return []
+        return sorted(
+            p.name
+            for bucket in self._version_root.iterdir()
+            if bucket.is_dir()
+            for p in bucket.iterdir()
+            if (p / "entry.json").exists()
+        )

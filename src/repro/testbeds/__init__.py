@@ -18,7 +18,13 @@ from .fabric import (
 )
 from .local import local_dual_replayer, local_multi_replayer, local_single_replayer
 from .profiles import BackgroundLoad, ClockStepModel, EnvironmentProfile
-from .serialization import load_profile, profile_from_dict, profile_to_dict, save_profile
+from .serialization import (
+    canonical_profile_json,
+    load_profile,
+    profile_from_dict,
+    profile_to_dict,
+    save_profile,
+)
 from .slices import (
     NICComponent,
     NICKind,
@@ -63,4 +69,5 @@ __all__ = [
     "profile_from_dict",
     "save_profile",
     "load_profile",
+    "canonical_profile_json",
 ]

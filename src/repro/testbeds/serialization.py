@@ -35,7 +35,13 @@ from ..timing.hwstamp import RealtimeHWStamper, SampledClockStamper
 from ..timing.ptp import PTPProfile
 from .profiles import BackgroundLoad, ClockStepModel, EnvironmentProfile
 
-__all__ = ["profile_to_dict", "profile_from_dict", "save_profile", "load_profile"]
+__all__ = [
+    "profile_to_dict",
+    "profile_from_dict",
+    "save_profile",
+    "load_profile",
+    "canonical_profile_json",
+]
 
 #: Polymorphic RX stamper registry: type tag <-> class.
 _STAMPERS = {
@@ -132,6 +138,28 @@ def profile_from_dict(data: dict) -> EnvironmentProfile:
         raise ValueError(f"profile: unknown keys {sorted(unknown)}")
     kwargs.update(data)
     return EnvironmentProfile(**kwargs)
+
+
+def canonical_profile_json(profile: EnvironmentProfile) -> str:
+    """One canonical byte string per profile *value* — the digest input.
+
+    The persistent artifact store (:mod:`repro.sweep.store`) keys cached
+    trials and reports by a content digest whose profile component is this
+    string: ``profile_to_dict`` (so only code-relevant simulation
+    parameters participate — never job counts, pool start methods or host
+    facts), serialized with sorted keys, no whitespace, and ``repr``-exact
+    floats.  Two profiles digest equal iff they would simulate identically
+    from the same seed.
+
+    Profiles carrying a custom ``workload`` object are rejected (by
+    ``profile_to_dict``); callers treat that as "not cacheable".
+    """
+    return json.dumps(
+        profile_to_dict(profile),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )
 
 
 def save_profile(profile: EnvironmentProfile, path: str | Path) -> Path:

@@ -1,0 +1,211 @@
+"""Fault injection: store damage degrades to a counted recompute, always.
+
+The :class:`repro.sweep.ArtifactStore` read path promises that **no**
+on-disk damage — truncation, bit flips, stale schema versions, vanished
+payloads, mangled metadata — ever raises, and none of it can ever leak a
+silently wrong κ: every integrity failure quarantines the entry, counts
+``sweep.store.corrupt`` (plus a per-reason sub-counter), and reports a
+miss so the sweep recomputes and rewrites.  Each test here injects one
+fault class into a published entry, re-runs the sweep, and asserts the
+trifecta: no exception, the corruption counted, and the merged
+``sweep.json`` byte-identical to the undamaged cold run.
+
+Concurrent writers are the last fault class: racing ``put`` calls for
+one digest must elect exactly one publisher (identical content by
+construction), count the losers, and leave a verifiable entry.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import metrics
+from repro.parallel import shutdown_pool
+from repro.sweep import (
+    ArtifactStore,
+    STORE_SCHEMA_VERSION,
+    plan_unit,
+    run_sweep,
+    write_sweep_report,
+)
+from repro.testbeds import local_dual_replayer
+
+SEED = 11
+N_RUNS = 2
+
+
+def _plan():
+    return [
+        plan_unit(
+            "reordered-dual", local_dual_replayer().at_duration(3e6), SEED, N_RUNS
+        )
+    ]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _teardown_pool():
+    yield
+    shutdown_pool()
+
+
+@pytest.fixture()
+def seeded_store(tmp_path):
+    """A store holding one full (trials + report) entry, plus cold bytes."""
+    plan = _plan()
+    store = ArtifactStore(tmp_path / "store")
+    cold = run_sweep(plan, store, jobs=1)
+    report_path, _ = write_sweep_report(cold, tmp_path / "cold")
+    return store, plan, report_path.read_bytes()
+
+
+def _counter(name: str) -> int:
+    return metrics.REGISTRY.snapshot()["counters"].get(name, 0)
+
+
+def _flip_byte(path, offset: int = -1) -> None:
+    data = bytearray(path.read_bytes())
+    data[offset] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+def assert_degrades_to_recompute(store_root, plan, cold_bytes, tmp_path, reason):
+    """The shared acceptance: counted miss, recompute, identical bytes."""
+    corrupt_before = _counter("sweep.store.corrupt")
+    reason_before = _counter(f"sweep.store.corrupt.{reason}")
+
+    store = ArtifactStore(store_root)
+    result = run_sweep(plan, store, jobs=1)  # must not raise
+
+    assert result.outcomes == ("miss",)
+    assert store.stats.corrupt == 1
+    assert _counter("sweep.store.corrupt") == corrupt_before + 1
+    assert _counter(f"sweep.store.corrupt.{reason}") == reason_before + 1
+
+    report_path, _ = write_sweep_report(result, tmp_path / "recovered")
+    assert report_path.read_bytes() == cold_bytes  # never a wrong κ
+
+    # The entry was rewritten and is wholly valid again.
+    fresh = ArtifactStore(store_root)
+    entry = fresh.get(plan[0].digest)
+    assert entry is not None and entry.report is not None
+    assert fresh.stats.corrupt == 0
+
+
+class TestStoreFaultInjection:
+    def test_truncated_capture_payload(self, seeded_store, tmp_path):
+        store, plan, cold_bytes = seeded_store
+        cho = store.entry_dir(plan[0].digest) / "run-0.cho"
+        cho.write_bytes(cho.read_bytes()[: cho.stat().st_size // 2])
+        assert_degrades_to_recompute(
+            store.root, plan, cold_bytes, tmp_path, "payload-checksum"
+        )
+
+    def test_bitflipped_capture_payload(self, seeded_store, tmp_path):
+        store, plan, cold_bytes = seeded_store
+        _flip_byte(store.entry_dir(plan[0].digest) / "run-1.cho")
+        assert_degrades_to_recompute(
+            store.root, plan, cold_bytes, tmp_path, "payload-checksum"
+        )
+
+    def test_bitflipped_report(self, seeded_store, tmp_path):
+        store, plan, cold_bytes = seeded_store
+        _flip_byte(store.entry_dir(plan[0].digest) / "report.json", offset=40)
+        assert_degrades_to_recompute(
+            store.root, plan, cold_bytes, tmp_path, "payload-checksum"
+        )
+
+    def test_stale_schema_version(self, seeded_store, tmp_path):
+        import json
+
+        store, plan, cold_bytes = seeded_store
+        entry_json = store.entry_dir(plan[0].digest) / "entry.json"
+        meta = json.loads(entry_json.read_text())
+        assert meta["schema"] == STORE_SCHEMA_VERSION
+        meta["schema"] = 999
+        entry_json.write_text(json.dumps(meta, sort_keys=True, indent=1))
+        assert_degrades_to_recompute(
+            store.root, plan, cold_bytes, tmp_path, "stale-schema"
+        )
+
+    def test_missing_payload_file(self, seeded_store, tmp_path):
+        store, plan, cold_bytes = seeded_store
+        (store.entry_dir(plan[0].digest) / "run-0.cho").unlink()
+        assert_degrades_to_recompute(
+            store.root, plan, cold_bytes, tmp_path, "payload-missing"
+        )
+
+    def test_garbage_entry_metadata(self, seeded_store, tmp_path):
+        store, plan, cold_bytes = seeded_store
+        (store.entry_dir(plan[0].digest) / "entry.json").write_text(
+            "not json at all{{{"
+        )
+        assert_degrades_to_recompute(
+            store.root, plan, cold_bytes, tmp_path, "entry-unreadable"
+        )
+
+    def test_digest_directory_mismatch(self, seeded_store, tmp_path):
+        """An entry renamed under the wrong digest can never be served."""
+        import shutil
+
+        store, plan, cold_bytes = seeded_store
+        wrong = "0" * 64
+        src = store.entry_dir(plan[0].digest)
+        dst = store.entry_dir(wrong)
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copytree(src, dst)
+        probe = ArtifactStore(store.root)
+        assert probe.get(wrong) is None
+        assert probe.stats.corrupt == 1
+        assert not dst.exists()  # quarantined
+        # ...and the legitimate entry is untouched.
+        assert probe.get(plan[0].digest) is not None
+
+
+class TestConcurrentWriters:
+    def test_racing_puts_elect_one_writer(self, seeded_store, tmp_path):
+        """N threads racing ``put`` for one digest: one write, N-1 races."""
+        store, plan, cold_bytes = seeded_store
+        digest = plan[0].digest
+        entry = store.get(digest)
+        assert entry is not None
+
+        target = ArtifactStore(tmp_path / "race-store")
+        n_writers = 6
+        errors = []
+        barrier = threading.Barrier(n_writers)
+
+        def race():
+            try:
+                barrier.wait()
+                target.put(digest, entry.trials, entry.report, key=entry.key)
+            except BaseException as e:  # pragma: no cover - the assertion
+                errors.append(e)
+
+        threads = [threading.Thread(target=race) for _ in range(n_writers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert errors == []
+        assert target.stats.writes + target.stats.races == n_writers
+        assert target.stats.writes >= 1
+        # Whatever was published verifies cleanly and decodes the same κ.
+        probe = ArtifactStore(tmp_path / "race-store")
+        got = probe.get(digest)
+        assert got is not None and got.report is not None
+        assert probe.stats.corrupt == 0
+        assert got.report.mean_row() == entry.report.mean_row()
+        # No staging debris survives the race.
+        assert list((tmp_path / "race-store" / "tmp").iterdir()) == []
+
+    def test_sweep_over_raced_store_stays_byte_identical(
+        self, seeded_store, tmp_path
+    ):
+        store, plan, cold_bytes = seeded_store
+        result = run_sweep(plan, ArtifactStore(store.root), jobs=1)
+        assert result.outcomes == ("hit",)
+        report_path, _ = write_sweep_report(result, tmp_path / "warm")
+        assert report_path.read_bytes() == cold_bytes

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Diff a ``repro stability`` report against a from-scratch serial sweep.
+
+The acceptance check behind the ``stability-smoke`` CI job: the JSON a
+pool-parallel, store-backed ``repro stability`` run emitted must contain
+*exactly* the per-seed κ/I/L means the plain serial
+:func:`repro.analysis.stats.seed_sweep` loop computes from nothing — no
+store, no pool, no coordinator.  Any deviation means the stability
+screen's execution shape leaked into its numbers, which is the one thing
+the differential contract forbids.
+
+Usage::
+
+    python scripts/diff_stability_vs_seedsweep.py REPORT.json [--scale S]
+
+Exit codes: 0 identical, 1 mismatch, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", type=Path, help="stability.json to check")
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="duration scale to rerun at (default: the report's own "
+        "recorded duration_scale, falling back to REPRO_SCALE or 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.analysis.stats import seed_sweep
+    from repro.experiments.scenarios import default_duration_scale, scenario
+
+    doc = json.loads(args.report.read_text())
+    if doc.get("kind") != "stability-report":
+        print(f"error: {args.report} is not a stability report", file=sys.stderr)
+        return 2
+    scale = args.scale
+    if scale is None:
+        scale = doc.get("params", {}).get("duration_scale")
+    if scale is None:
+        scale = default_duration_scale()
+
+    failures = 0
+    for block in doc["environments"]:
+        key = block["scenario"]
+        profile = scenario(key).profile(scale)
+        serial = seed_sweep(profile, block["seeds"], n_runs=block["n_runs"])
+        block_failures = 0
+        for name, reported in (
+            ("kappa", block["kappa"]),
+            ("I", block["I"]),
+            ("L", block["L"]),
+        ):
+            want = {
+                "kappa": serial.kappa,
+                "I": serial.i_values,
+                "L": serial.l_values,
+            }[name]
+            got = [float(v) for v in reported]
+            if got != list(want):  # exact float equality — bits, not approx
+                block_failures += 1
+                print(
+                    f"MISMATCH {key} {name}: report {got} != serial {list(want)}",
+                    file=sys.stderr,
+                )
+        failures += block_failures
+        if not block_failures:
+            print(
+                f"ok {key}: {len(block['seeds'])} seeds x {block['n_runs']} "
+                "runs match the serial seed sweep bit-for-bit"
+            )
+    if failures:
+        print(f"{failures} metric vector(s) diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,17 @@ from .owd import OwdSeries, owd_series
 from .compare import analyze_directory, load_series, render_report, save_series
 from .pcap import MIN_FRAME_BYTES, PcapReadResult, read_pcap, write_pcap
 from .pcapng import PcapngReadResult, read_pcapng, write_pcapng
+from .stability import (
+    EnvironmentStability,
+    OutlierScreen,
+    StabilityDecision,
+    ci_half_width,
+    environment_stability,
+    minimal_runs_mean,
+    screen_outliers,
+    seed_sweep_parallel,
+    stability_seed_plan,
+)
 from .stats import SeedSweepResult, bootstrap_ci, seed_sweep
 from .streaming import StreamingComparison, stream_compare
 from .streamkappa import DegradationEvent, KappaMonitor, StreamKappa, WindowReport
@@ -58,6 +69,15 @@ __all__ = [
     "bootstrap_ci",
     "seed_sweep",
     "SeedSweepResult",
+    "seed_sweep_parallel",
+    "screen_outliers",
+    "OutlierScreen",
+    "minimal_runs_mean",
+    "ci_half_width",
+    "StabilityDecision",
+    "environment_stability",
+    "EnvironmentStability",
+    "stability_seed_plan",
     "balanced_scaling",
     "component_ranges",
     "StreamingComparison",

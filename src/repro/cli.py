@@ -15,7 +15,14 @@ Mirrors the artifact's workflow from a shell:
   content-addressed artifact store (:mod:`repro.sweep`): completed units
   are deduplicated and a killed sweep resumes from its last finished
   unit; ``--store``/``REPRO_STORE`` points the other scenario-driven
-  commands at the same store so they reuse and feed it.
+  commands at the same store so they reuse and feed it;
+* ``repro stability`` — the PASTRAMI-style stability screen
+  (:mod:`repro.analysis.stability`): per-environment κ *distributions*
+  over many seeded sessions with bootstrap intervals, MAD outlier
+  flagging and — with ``--eps`` — the sequential minimal-runs stopping
+  rule ("add sessions until the κ CI half-width is ≤ ε or ``--max-runs``
+  is hit").  ``repro table2 --ci`` and ``repro validate --ci`` surface
+  the same interval columns inside the paper-facing drivers.
 
 All commands honor ``--scale`` (capture duration relative to the paper's
 0.3 s; default from ``REPRO_SCALE`` or 0.25) and print plain text so
@@ -116,14 +123,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=None)
     add_jobs(p)
 
+    def add_ci(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--ci", action="store_true",
+            help="report kappa with bootstrap interval columns from a "
+            "multi-seed stability screen instead of one point estimate",
+        )
+        p.add_argument(
+            "--ci-seeds", type=int, default=4, metavar="N",
+            help="seeded sessions per environment for --ci (default 4)",
+        )
+
     p = sub.add_parser("table2", help="regenerate Table 2 (all environments)")
     p.add_argument("--scale", type=float, default=None)
     p.add_argument("--no-paper", action="store_true", help="omit the paper's columns")
+    add_ci(p)
     add_jobs(p)
 
     p = sub.add_parser("validate", help="grade the reproduction against the paper's Table 2")
     p.add_argument("--scale", type=float, default=None)
     p.add_argument("--kappa-tol", type=float, default=0.08)
+    add_ci(p)
     add_jobs(p)
 
     p = sub.add_parser("report", help="regenerate the full evaluation into a directory")
@@ -156,6 +176,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "-o", "--output", default=None, metavar="DIR",
         help="write sweep.json + sweep_telemetry.json into DIR",
+    )
+    add_jobs(p)
+
+    p = sub.add_parser(
+        "stability",
+        help="PASTRAMI-style multi-seed kappa stability screen with "
+        "bootstrap intervals and a minimal-runs stopping rule",
+    )
+    p.add_argument(
+        "scenario", nargs="*",
+        help="scenario keys to screen (default: all nine environments)",
+    )
+    p.add_argument(
+        "--seeds", default=None, metavar="S1,S2,...",
+        help="comma-separated initial seeds applied to every scenario "
+        "(default: 4 consecutive seeds from each scenario's registered "
+        "seed)",
+    )
+    p.add_argument(
+        "--eps", type=float, default=0.005, metavar="EPS",
+        help="target kappa CI half-width: sessions are added until the "
+        "95%% bootstrap interval is within +/-EPS (default 0.005); 0 "
+        "evaluates exactly the given seeds with no extension",
+    )
+    p.add_argument(
+        "--max-runs", type=int, default=12, metavar="N",
+        help="cap on seeded sessions per environment in adaptive mode "
+        "(default 12)",
+    )
+    p.add_argument("--runs", type=int, default=3,
+                   help="replay runs per session (default 3)")
+    p.add_argument("--scale", type=float, default=None,
+                   help="duration scale (default REPRO_SCALE)")
+    p.add_argument(
+        "-o", "--output", default=None, metavar="DIR",
+        help="write stability.json + stability_telemetry.json into DIR",
     )
     add_jobs(p)
 
@@ -354,7 +410,113 @@ def _cmd_table1(args) -> int:
 def _cmd_table2(args) -> int:
     from .experiments import render_table2_text
 
-    print(render_table2_text(with_paper=not args.no_paper, **_run_kwargs(args)))
+    print(render_table2_text(
+        with_paper=not args.no_paper, ci=args.ci, ci_seeds=args.ci_seeds,
+        **_run_kwargs(args),
+    ))
+    return 0
+
+
+def _cmd_stability(args) -> int:
+    import os
+    import time
+
+    from .analysis.stability import (
+        environment_stability,
+        stability_document,
+        stability_seed_plan,
+        write_stability_report,
+    )
+    from .analysis.textplot import render_metric_rows
+    from .experiments.scenarios import (
+        SCENARIOS,
+        default_duration_scale,
+        scenario,
+    )
+    from .obs import metrics
+    from .obs.export import host_context
+    from .sweep import ArtifactStore
+
+    seeds = None
+    if args.seeds:
+        try:
+            seeds = [int(tok) for tok in args.seeds.split(",") if tok.strip()]
+        except ValueError:
+            print(f"stability: --seeds must be integers, got {args.seeds!r}",
+                  file=sys.stderr)
+            return 2
+    scale = args.scale if args.scale is not None else default_duration_scale()
+    keys = args.scenario or [sc.key for sc in SCENARIOS]
+    try:
+        scenarios = [scenario(k) for k in keys]
+    except KeyError as exc:
+        print(f"stability: {exc.args[0]}", file=sys.stderr)
+        return 2
+    store_dir = args.store or os.environ.get("REPRO_STORE") or ".repro-store"
+    store = ArtifactStore(store_dir)
+    print(
+        f"screening {len(scenarios)} environments through {store_dir} "
+        f"(eps={args.eps:g}, max {args.max_runs} sessions each)",
+        file=sys.stderr,
+    )
+    t_start = time.perf_counter()
+    blocks = []
+    rows = []
+    try:
+        for sc in scenarios:
+            env_seeds = seeds if seeds else stability_seed_plan(sc.seed, 4)
+            st = environment_stability(
+                sc.profile(scale),
+                seeds=env_seeds,
+                n_runs=args.runs,
+                jobs=args.jobs,
+                store=store,
+                eps=args.eps,
+                max_seeds=args.max_runs,
+            )
+            blocks.append((sc.key, st))
+            row = dict(st.row(), scenario=sc.key, n_seeds=len(st.seeds))
+            row["stopped"] = (
+                ("yes" if st.decision.stopped else "cap") if args.eps > 0
+                else "-"
+            )
+            rows.append(row)
+    except ValueError as exc:
+        print(f"stability: {exc}", file=sys.stderr)
+        return 2
+    print(render_metric_rows(rows, columns=[
+        "scenario", "n_seeds", "n_eff", "kappa", "kappa_ci_low",
+        "kappa_ci_high", "kappa_spread", "outliers", "stopped",
+    ]))
+    params = {
+        "scenarios": [sc.key for sc in scenarios],
+        "seeds": seeds if seeds else "derived",
+        "eps": args.eps,
+        "max_runs": args.max_runs,
+        "n_runs": args.runs,
+        "duration_scale": scale,
+    }
+    if args.output:
+        doc = stability_document(blocks, params)
+        telemetry = {
+            "bench": "stability",
+            "params": params,
+            "host": host_context(),
+            "wall_s": time.perf_counter() - t_start,
+            "per_stage": {},
+            "store": store.stats.as_dict(),
+            "metrics": {
+                name: value
+                for name, value in sorted(
+                    metrics.REGISTRY.snapshot()["counters"].items()
+                )
+                if name.startswith(("stability.", "sweep.", "pool."))
+            },
+        }
+        report_path, telemetry_path = write_stability_report(
+            doc, telemetry, args.output
+        )
+        print(f"wrote {report_path} and {telemetry_path}", file=sys.stderr)
     return 0
 
 
@@ -381,7 +543,10 @@ def _cmd_figure(args) -> int:
 def _cmd_validate(args) -> int:
     from .experiments import validate_against_paper
 
-    result = validate_against_paper(kappa_abs_tol=args.kappa_tol, **_run_kwargs(args))
+    result = validate_against_paper(
+        kappa_abs_tol=args.kappa_tol, ci=args.ci, ci_seeds=args.ci_seeds,
+        **_run_kwargs(args),
+    )
     print(result.render())
     return 0 if result.passed else 1
 
@@ -436,6 +601,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "monitor": _cmd_monitor,
     "sweep": _cmd_sweep,
+    "stability": _cmd_stability,
     "table1": _cmd_table1,
     "table2": _cmd_table2,
     "figure": _cmd_figure,
@@ -458,10 +624,10 @@ def main(argv: list[str] | None = None) -> int:
     from .parallel.pool import shutdown_pool
 
     args = build_parser().parse_args(argv)
-    if getattr(args, "store", None) and args.command != "sweep":
+    if getattr(args, "store", None) and args.command not in ("sweep", "stability"):
         # Scenario-driven commands (tables, figures, validate, report,
         # simulate) read and feed the persistent series store; the sweep
-        # command manages its own store instance.
+        # and stability commands manage their own store instances.
         from .experiments.runner import configure_store
 
         configure_store(args.store)

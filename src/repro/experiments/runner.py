@@ -42,6 +42,7 @@ __all__ = [
     "run_scenario_trials",
     "analyze_trials",
     "configure_store",
+    "persistent_store",
 ]
 
 
@@ -122,6 +123,18 @@ def _persistent_store():
         path = os.environ.get("REPRO_STORE")
         configure_store(path if path else None)
     return _store
+
+
+def persistent_store():
+    """The live persistent series store, or ``None``.
+
+    The public face of the ``--store`` / ``REPRO_STORE`` resolution: other
+    drivers that fan work out through the sweep coordinator (e.g. the
+    stability screen behind ``table2(ci=True)``) call this so their units
+    land in — and are satisfied from — the same store as the scenario
+    runner's.
+    """
+    return _persistent_store()
 
 
 def _cached_series(

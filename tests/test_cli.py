@@ -26,6 +26,31 @@ class TestParser:
         assert args.chunk == 512 and args.kappa_step == 0.05
         assert args.fail_on_degraded
 
+    def test_ci_flags_parse(self):
+        p = build_parser()
+        args = p.parse_args(["table2", "--ci", "--ci-seeds", "6"])
+        assert args.ci and args.ci_seeds == 6
+        assert not p.parse_args(["table2"]).ci
+        args = p.parse_args(["validate", "--ci"])
+        assert args.ci and args.ci_seeds == 4  # the default screen width
+
+    def test_stability_flags_parse(self):
+        p = build_parser()
+        args = p.parse_args([
+            "stability", "local-dual", "--seeds", "3,5,8", "--eps", "0.01",
+            "--max-runs", "16", "--runs", "2", "--jobs", "4",
+            "--store", "/tmp/s", "-o", "/tmp/out",
+        ])
+        assert args.command == "stability"
+        assert args.scenario == ["local-dual"]
+        assert args.seeds == "3,5,8" and args.eps == 0.01
+        assert args.max_runs == 16 and args.runs == 2
+        assert args.jobs == 4 and args.store == "/tmp/s"
+        assert args.output == "/tmp/out"
+        defaults = p.parse_args(["stability"])
+        assert defaults.scenario == [] and defaults.seeds is None
+        assert defaults.eps == 0.005 and defaults.max_runs == 12
+
 
 class TestCommands:
     def test_scenarios_lists_all_nine(self, capsys):
@@ -84,6 +109,44 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Table 2" in out
         assert "paper_kappa" not in out
+
+    def test_table2_ci_columns(self, capsys):
+        assert main([
+            "table2", "--ci", "--ci-seeds", "3", "--scale", "0.005",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "bootstrap intervals" in out
+        for column in ("kappa_ci_low", "kappa_ci_high", "n_eff", "outliers"):
+            assert column in out
+
+    def test_stability_report(self, capsys, tmp_path):
+        import json
+
+        out_dir = tmp_path / "stab"
+        assert main([
+            "stability", "local-single", "--seeds", "3,5", "--runs", "2",
+            "--scale", "0.01", "--eps", "0",
+            "--store", str(tmp_path / "store"), "-o", str(out_dir),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "kappa_ci_low" in captured.out
+        doc = json.loads((out_dir / "stability.json").read_text())
+        assert doc["kind"] == "stability-report"
+        (block,) = doc["environments"]
+        assert block["scenario"] == "local-single"
+        assert block["seeds"] == [3, 5]
+        telemetry = json.loads(
+            (out_dir / "stability_telemetry.json").read_text()
+        )
+        assert telemetry["bench"] == "stability"
+
+    def test_stability_rejects_bad_seeds(self, capsys):
+        assert main(["stability", "--seeds", "3,x"]) == 2
+        assert "--seeds" in capsys.readouterr().err
+
+    def test_stability_unknown_scenario(self, capsys):
+        assert main(["stability", "bogus"]) == 2
+        assert "valid keys" in capsys.readouterr().err
 
     def test_figure(self, capsys):
         assert main(["figure", "4a", "--scale", "0.01"]) == 0

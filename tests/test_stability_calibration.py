@@ -1,0 +1,216 @@
+"""Calibration suite: the stability layer's statistics tested *as statistics*.
+
+Coverage claims are meaningless untested: a "95% bootstrap interval"
+whose empirical coverage is 70% would silently turn the Table-2 interval
+columns and the CI-aware validation tolerances into noise.  This suite
+replays the interval construction many times over distributions with
+*known* truth (seeded from ``REPRO_TEST_SEED`` via
+:func:`tests.conftest.suite_rng`) and pins:
+
+* the 95% bootstrap CI covers the true mean at ≈ the nominal rate;
+* the minimal-runs rule stops on stable series well under the fixed-N
+  cap, and refuses to stop on a series with an injected mean shift —
+  the same shift :func:`repro.analysis.changepoints.detect_series_steps`
+  flags, so "no tight interval" and "changepoint detected" agree;
+* the MAD screen flags planted outliers, never flags clean or constant
+  samples, and degrades safely (MeanAD fallback, small-sample quorum).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.changepoints import detect_series_steps
+from repro.analysis.stability import (
+    DEFAULT_EPSILON,
+    ci_half_width,
+    minimal_runs_mean,
+    screen_outliers,
+    stability_seed_plan,
+)
+from repro.analysis.stats import bootstrap_ci
+
+from .conftest import suite_rng
+
+#: Replications for the coverage experiment.  300 keeps the binomial
+#: noise on the coverage estimate to ~±1.3% (one sigma) at p=0.95.
+N_REPLICATIONS = 300
+#: Per-replication sample size — the stability screen's working regime
+#: (a dozen-ish seeded sessions).
+SAMPLE_N = 15
+TRUE_MEAN = 0.8
+TRUE_SIGMA = 0.05
+
+
+class TestBootstrapCoverage:
+    def test_nominal_coverage_on_normal_samples(self):
+        """Empirical 95% coverage lands near 95% (bootstrap-typical band).
+
+        The percentile bootstrap undercovers slightly at small n, so the
+        acceptance band is asymmetric: [0.88, 0.99] tolerates the known
+        small-sample bias without tolerating a broken interval.
+        """
+        rng = suite_rng(salt=201)
+        hits = 0
+        for k in range(N_REPLICATIONS):
+            sample = rng.normal(TRUE_MEAN, TRUE_SIGMA, size=SAMPLE_N)
+            lo, _, hi = bootstrap_ci(sample, seed=k)
+            hits += lo <= TRUE_MEAN <= hi
+        coverage = hits / N_REPLICATIONS
+        assert 0.88 <= coverage <= 0.99, f"coverage {coverage:.3f}"
+
+    def test_coverage_tracks_confidence_level(self):
+        """An 80% interval covers less often than a 95% one."""
+        rng = suite_rng(salt=202)
+        hits80 = hits95 = 0
+        for k in range(N_REPLICATIONS):
+            sample = rng.normal(TRUE_MEAN, TRUE_SIGMA, size=SAMPLE_N)
+            lo, _, hi = bootstrap_ci(sample, confidence=0.80, seed=k)
+            hits80 += lo <= TRUE_MEAN <= hi
+            lo, _, hi = bootstrap_ci(sample, confidence=0.95, seed=k)
+            hits95 += lo <= TRUE_MEAN <= hi
+        assert hits80 < hits95
+        assert 0.70 <= hits80 / N_REPLICATIONS <= 0.92
+
+    def test_half_width_is_half_the_interval(self):
+        sample = suite_rng(salt=203).normal(0.5, 0.1, size=20)
+        lo, _, hi = bootstrap_ci(sample, seed=3)
+        assert ci_half_width(sample, seed=3) == pytest.approx((hi - lo) / 2)
+
+
+class TestMinimalRuns:
+    def test_stable_series_stops_under_the_cap(self):
+        """A quiet series needs far fewer sessions than the fixed-N cap —
+        the economy claim behind making the stopping rule the default."""
+        rng = suite_rng(salt=204)
+        cap = 32
+        values, decision = minimal_runs_mean(
+            lambda k: rng.normal(TRUE_MEAN, 0.004),
+            eps=DEFAULT_EPSILON,
+            max_runs=cap,
+        )
+        assert decision.stopped
+        assert decision.n_used < cap // 2
+        assert decision.n_used == values.size
+        assert decision.half_width <= DEFAULT_EPSILON
+        # One half-width per check from min_runs onward, ending at stop.
+        assert len(decision.history) == decision.n_used - 3
+        assert decision.history[-1] == decision.half_width
+
+    def test_stopping_rule_mostly_stops_early_across_replications(self):
+        """The early stop is the rule, not a lucky draw."""
+        rng = suite_rng(salt=205)
+        stops = 0
+        used = []
+        for _ in range(25):
+            _, decision = minimal_runs_mean(
+                lambda k: rng.normal(TRUE_MEAN, 0.004),
+                eps=DEFAULT_EPSILON,
+                max_runs=32,
+            )
+            stops += decision.stopped
+            used.append(decision.n_used)
+        assert stops >= 23
+        assert float(np.mean(used)) < 10
+
+    def test_shifted_series_refuses_to_stop(self):
+        """An injected mean shift keeps the interval wide to the cap.
+
+        Drift must be answered with "unstable", never a tight interval
+        around a meaningless mean — and the very shift the rule balks at
+        is one the changepoint detector localizes, so both diagnostics
+        tell the same story.
+        """
+        rng = suite_rng(salt=206)
+        shift_at, cap = 10, 24
+
+        def drifting(k: int) -> float:
+            center = TRUE_MEAN if k < shift_at else TRUE_MEAN - 0.2
+            return rng.normal(center, 0.003)
+
+        # min_runs places the first check after the shift is in-window;
+        # a pre-shift check could stop on the (genuinely stable) prefix.
+        values, decision = minimal_runs_mean(
+            drifting, eps=DEFAULT_EPSILON, min_runs=shift_at + 2,
+            max_runs=cap,
+        )
+        assert not decision.stopped
+        assert decision.n_used == cap
+        assert decision.half_width > DEFAULT_EPSILON
+        steps = detect_series_steps(values, min_step=0.1)
+        assert len(steps) == 1
+        assert steps[0].step_ns < 0  # a downward shift...
+        assert abs(steps[0].index - shift_at) <= 1  # ...where injected
+
+    def test_parameter_validation(self):
+        draw = lambda k: 0.5  # noqa: E731
+        with pytest.raises(ValueError, match="eps"):
+            minimal_runs_mean(draw, eps=0.0)
+        with pytest.raises(ValueError, match="min_runs"):
+            minimal_runs_mean(draw, min_runs=2)
+        with pytest.raises(ValueError, match="max_runs"):
+            minimal_runs_mean(draw, min_runs=5, max_runs=4)
+
+
+class TestOutlierScreen:
+    def test_flags_a_planted_outlier(self):
+        rng = suite_rng(salt=207)
+        values = rng.normal(0.9, 0.005, size=11)
+        values[4] = 0.5  # a crashed/degenerate session
+        screen = screen_outliers(values)
+        assert screen.n_flagged == 1
+        assert bool(screen.flags[4])
+        kept = screen.kept()
+        assert kept.size == 10
+        assert 0.5 not in kept
+
+    def test_clean_sample_unflagged(self):
+        rng = suite_rng(salt=208)
+        screen = screen_outliers(rng.normal(0.9, 0.01, size=20))
+        assert screen.n_flagged == 0
+        assert np.array_equal(screen.kept(), screen.values)
+
+    def test_constant_sample_unflagged(self):
+        screen = screen_outliers([0.7] * 9)
+        assert screen.n_flagged == 0
+        assert screen.mad == 0.0
+
+    def test_meanad_fallback_when_mad_degenerates(self):
+        """Half-identical samples zero the MAD; MeanAD still catches the
+        outlier instead of dividing by zero or going blind."""
+        screen = screen_outliers([1.0, 1.0, 1.0, 1.0, 10.0])
+        assert screen.mad == 0.0
+        assert screen.n_flagged == 1
+        assert bool(screen.flags[-1])
+
+    def test_small_samples_never_flag(self):
+        """Two points cannot outvote each other: no quorum, no flags."""
+        screen = screen_outliers([0.1, 99.0])
+        assert screen.n_flagged == 0
+
+    def test_kept_never_empty(self):
+        """Even a screen that flags everything must leave the estimator
+        with the full sample, not an empty one."""
+        from dataclasses import replace
+
+        screen = screen_outliers([1.0, 1.0, 1.0, 1.0, 10.0])
+        all_flagged = replace(screen, flags=np.ones_like(screen.flags))
+        assert np.array_equal(all_flagged.kept(), screen.values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            screen_outliers([])
+        with pytest.raises(ValueError, match="one-dimensional"):
+            screen_outliers([[1.0, 2.0]])
+        with pytest.raises(ValueError, match="threshold"):
+            screen_outliers([1.0, 2.0, 3.0], threshold=0.0)
+
+
+class TestSeedPlan:
+    def test_consecutive_from_base(self):
+        assert stability_seed_plan(7, 4) == (7, 8, 9, 10)
+
+    def test_count_validated(self):
+        with pytest.raises(ValueError, match="at least one seed"):
+            stability_seed_plan(0, 0)

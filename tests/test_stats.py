@@ -1,0 +1,141 @@
+"""Unit suite for :mod:`repro.analysis.stats` — the bootstrap layer.
+
+The stability screen (:mod:`repro.analysis.stability`) and the Table-2
+interval columns are built directly on ``bootstrap_ci`` and
+``SeedSweepResult``; this suite pins the exact behaviors those layers
+assume: seeded determinism, the small-sample range degeneration, the
+input validation, and the row schema.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import SeedSweepResult, bootstrap_ci, seed_sweep
+from repro.testbeds import local_single_replayer
+
+from .conftest import suite_rng
+
+
+class TestBootstrapCi:
+    def test_seeded_determinism(self):
+        """Same sample + same seed: the identical interval, bit-for-bit."""
+        sample = suite_rng(salt=101).normal(0.9, 0.02, size=12)
+        first = bootstrap_ci(sample, seed=7)
+        again = bootstrap_ci(sample, seed=7)
+        assert first == again  # exact float equality, not approx
+
+    def test_seed_changes_resample_plan(self):
+        """Different bootstrap seeds draw different resamples."""
+        sample = suite_rng(salt=102).normal(0.9, 0.02, size=12)
+        lo_a, mean_a, hi_a = bootstrap_ci(sample, seed=0)
+        lo_b, mean_b, hi_b = bootstrap_ci(sample, seed=1)
+        assert mean_a == mean_b  # the point estimate is seed-free
+        assert (lo_a, hi_a) != (lo_b, hi_b)
+
+    def test_interval_brackets_the_mean(self):
+        sample = suite_rng(salt=103).normal(0.5, 0.1, size=30)
+        lo, mean, hi = bootstrap_ci(sample)
+        assert lo <= mean <= hi
+        assert mean == pytest.approx(sample.mean())
+
+    def test_tightens_with_sample_size(self):
+        """More data, narrower interval — the property the stopping rule
+        of the stability screen relies on."""
+        rng = suite_rng(salt=104)
+        small = rng.normal(0.8, 0.05, size=5)
+        large = np.concatenate([small, rng.normal(0.8, 0.05, size=45)])
+        lo_s, _, hi_s = bootstrap_ci(small)
+        lo_l, _, hi_l = bootstrap_ci(large)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    @pytest.mark.parametrize("sample", [[0.7], [0.7, 0.9]])
+    def test_small_samples_degenerate_to_range(self, sample):
+        """n < 3 cannot support a bootstrap: the interval is the range."""
+        lo, mean, hi = bootstrap_ci(sample)
+        assert lo == min(sample)
+        assert hi == max(sample)
+        assert mean == pytest.approx(np.mean(sample))
+
+    def test_constant_sample_collapses(self):
+        lo, mean, hi = bootstrap_ci([0.25] * 8)
+        assert lo == mean == hi == 0.25
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError, match="at least one value"):
+            bootstrap_ci([])
+
+    @pytest.mark.parametrize("confidence", [0.0, 1.0, -0.5, 1.5])
+    def test_confidence_must_be_open_unit_interval(self, confidence):
+        with pytest.raises(ValueError, match="confidence"):
+            bootstrap_ci([1.0, 2.0, 3.0], confidence=confidence)
+
+    def test_wider_confidence_wider_interval(self):
+        sample = suite_rng(salt=105).normal(0.0, 1.0, size=25)
+        lo90, _, hi90 = bootstrap_ci(sample, confidence=0.90)
+        lo99, _, hi99 = bootstrap_ci(sample, confidence=0.99)
+        assert (hi99 - lo99) > (hi90 - lo90)
+
+
+class TestSeedSweepResult:
+    def _result(self):
+        return SeedSweepResult(
+            environment="synthetic",
+            seeds=(0, 1, 2, 3),
+            kappa=np.array([0.90, 0.94, 0.92, 0.96]),
+            i_values=np.array([0.10, 0.12, 0.11, 0.13]),
+            l_values=np.array([1.0, 2.0, 1.5, 2.5]),
+        )
+
+    def test_row_schema(self):
+        """The exact column set the seed-variance reporting consumes."""
+        row = self._result().row()
+        assert set(row) == {
+            "environment",
+            "n_seeds",
+            "kappa_mean",
+            "kappa_ci_low",
+            "kappa_ci_high",
+            "kappa_spread",
+            "I_mean",
+        }
+        assert row["environment"] == "synthetic"
+        assert row["n_seeds"] == 4
+
+    def test_row_values_match_the_arrays(self):
+        res = self._result()
+        row = res.row()
+        lo, mean, hi = bootstrap_ci(res.kappa)
+        assert row["kappa_mean"] == mean
+        assert row["kappa_ci_low"] == lo
+        assert row["kappa_ci_high"] == hi
+        assert row["I_mean"] == pytest.approx(res.i_values.mean())
+
+    def test_kappa_spread_is_range(self):
+        res = self._result()
+        assert res.kappa_spread() == pytest.approx(0.96 - 0.90)
+        assert res.row()["kappa_spread"] == res.kappa_spread()
+
+
+class TestSeedSweep:
+    def test_empty_seed_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one seed"):
+            seed_sweep(local_single_replayer(), [])
+
+    def test_sweep_shape_and_determinism(self):
+        """One mean per seed, and the whole sweep replays exactly."""
+        profile = local_single_replayer().at_duration(2e6)
+        res = seed_sweep(profile, [3, 5], n_runs=2)
+        assert res.environment == profile.name
+        assert res.seeds == (3, 5)
+        assert res.kappa.shape == (2,)
+        assert res.i_values.shape == (2,)
+        assert res.l_values.shape == (2,)
+        # Distinct seeds are distinct realizations...
+        assert res.kappa[0] != res.kappa[1]
+        # ...but the same seed is the same bits, every time.
+        again = seed_sweep(profile, [3, 5], n_runs=2)
+        assert np.array_equal(res.kappa, again.kappa)
+        assert np.array_equal(res.i_values, again.i_values)
+        assert np.array_equal(res.l_values, again.l_values)

@@ -1,0 +1,114 @@
+"""Throughput and memory of the streaming span sink (repro.obs.sink).
+
+Two claims, two measurements, at two trace lengths (the longer 10× the
+shorter):
+
+* **Offer-path throughput** — spans/second through
+  :meth:`SpanSink.offer_span` with the background flusher draining to a
+  real file.  The offer path is lock-append-notify; it must stay cheap
+  enough that a traced engine's wall time is the untraced wall time
+  (the inertness story's performance half).
+* **Memory bound** — the ring's high-water mark while streaming.  The
+  acceptance criterion of the bounded-memory design: the high-water
+  mark must stay **≤ capacity and flat** as the trace grows 10×,
+  because the flusher frees the ring as fast as the engine fills it —
+  the in-memory tracer's O(spans) growth is exactly what the sink
+  removes.
+
+Results go to ``benchmarks/out/obs_sink.{txt,json}``.
+
+``REPRO_BENCH_SMOKE=1`` (CI) shrinks the traces and turns both claims
+into regression gates: flat high-water, full drop accounting, and
+long-trace throughput within 10× of short-trace throughput.
+"""
+
+import os
+import time
+
+from repro.obs import trace
+from repro.obs.sink import SpanSink
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+N_SHORT = 20_000 if SMOKE else 200_000
+N_LONG = 10 * N_SHORT
+CAPACITY = 4096
+
+
+def _spans(n):
+    pid = os.getpid()
+    return [
+        trace.SpanRecord(
+            "analysis.pair", 1_000_000 + i * 1_000, 700, 500, pid, 1, {"i": i}
+        )
+        for i in range(n)
+    ]
+
+
+def _stream(path, spans):
+    sink = SpanSink(path, capacity=CAPACITY, flush_interval_s=0.001)
+    t0 = time.perf_counter()
+    for s in spans:
+        sink.offer_span(s)
+    offer_s = time.perf_counter() - t0
+    sink.close()
+    total_s = time.perf_counter() - t0
+    return sink, offer_s, total_s
+
+
+def test_sink_throughput_and_flat_memory(
+    tmp_path, emit, emit_json, bench_params
+):
+    bench_params(n_short=N_SHORT, n_long=N_LONG, capacity=CAPACITY)
+    rows = []
+    per_stage = {}
+    results = {}
+    for label, n in (("short", N_SHORT), ("long", N_LONG)):
+        spans = _spans(n)
+        sink, offer_s, total_s = _stream(tmp_path / f"{label}.jsonl", spans)
+        results[label] = (sink, offer_s, total_s, n)
+        per_stage[f"offer_{label}"] = offer_s
+        per_stage[f"drain_{label}"] = total_s - offer_s
+        rows.append(
+            f"{label:>6s}: {n:>9d} spans  "
+            f"offer {n / offer_s / 1e6:6.2f} Mspan/s  "
+            f"high-water {sink.high_water:>5d}/{CAPACITY}  "
+            f"dropped {sink.dropped}  written {sink.events_written}"
+        )
+
+    short_sink = results["short"][0]
+    long_sink = results["long"][0]
+
+    # The bounded-memory gate: O(capacity) at any length, drops counted.
+    assert short_sink.high_water <= CAPACITY
+    assert long_sink.high_water <= CAPACITY
+    for sink, _, _, n in results.values():
+        assert sink.events_written + sink.dropped == n
+
+    # Throughput must not degrade super-linearly with trace length.
+    rate_short = results["short"][3] / results["short"][1]
+    rate_long = results["long"][3] / results["long"][1]
+    rows.append(
+        f"  rate: short {rate_short / 1e6:.2f} long {rate_long / 1e6:.2f} "
+        f"Mspan/s (ratio {rate_short / rate_long:.2f}x)"
+    )
+    if SMOKE:
+        assert rate_long * 10 > rate_short, (
+            "offer path got 10x slower on a 10x longer trace — the sink "
+            "is no longer O(1) per span"
+        )
+
+    text = "== streaming span sink ==\n" + "\n".join(rows) + "\n"
+    emit("obs_sink", text)
+    emit_json(
+        "obs_sink",
+        {
+            "n_short": N_SHORT,
+            "n_long": N_LONG,
+            "capacity": CAPACITY,
+            "high_water_short": short_sink.high_water,
+            "high_water_long": long_sink.high_water,
+            "dropped_long": long_sink.dropped,
+        },
+        sum(r[2] for r in results.values()),
+        per_stage,
+    )

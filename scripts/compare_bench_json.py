@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Diff two ``benchmarks/out/*.json`` artifacts across runs/PRs.
+
+Every benchmark emits a structured result document (see
+``benchmarks/_emit.py``): ``{bench, params, host, wall_s, per_stage}``.
+Until now there was no tool to compare two of them, so the bench
+trajectory across PRs was write-only.  This script diffs a *baseline*
+against a *candidate*:
+
+* refuses to compare different benchmarks, and warns when ``params`` or
+  the measurement host differ (a wall-time delta measured on different
+  core counts is noise, not signal);
+* reports ``wall_s`` and every shared ``per_stage`` entry as absolute
+  and percent deltas, plus stages that appear/disappear;
+* flags regressions past a threshold (``--threshold-pct``, default 10%)
+  and exits 1 when ``--fail-on-regression`` is set — the CI wiring.
+
+Usage::
+
+    python scripts/compare_bench_json.py old/streaming_kappa.json \
+        new/streaming_kappa.json --threshold-pct 15 --fail-on-regression
+
+Stdlib only.  Output is plain text, one line per compared quantity.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_bench(path) -> dict:
+    """Load and shape-check one benchmark JSON document."""
+    doc = json.loads(Path(path).read_text())
+    for key in ("bench", "params", "wall_s", "per_stage"):
+        if key not in doc:
+            raise ValueError(f"{path}: not a bench document (missing {key!r})")
+    if not isinstance(doc["per_stage"], dict):
+        raise ValueError(f"{path}: per_stage must be an object")
+    return doc
+
+
+def _pct(old: float, new: float) -> float | None:
+    """Percent change new vs old; None when old is ~zero (undefined)."""
+    if old <= 1e-12:
+        return None
+    return (new - old) / old * 100.0
+
+
+def compare_bench(
+    baseline: dict, candidate: dict, *, threshold_pct: float = 10.0
+) -> dict:
+    """Structured comparison of two bench documents.
+
+    Returns ``{bench, comparable, warnings, rows, regressions}`` where
+    each row is ``{name, base_s, cand_s, delta_s, delta_pct, flag}`` and
+    ``flag`` is ``"REGRESSION"`` / ``"improved"`` / ``""``.  Rows for
+    stages present on only one side get ``None`` for the missing value.
+    """
+    warnings: list[str] = []
+    if baseline["bench"] != candidate["bench"]:
+        raise ValueError(
+            f"refusing to compare different benchmarks: "
+            f"{baseline['bench']!r} vs {candidate['bench']!r}"
+        )
+    if baseline["params"] != candidate["params"]:
+        warnings.append(
+            "params differ: "
+            f"baseline {baseline['params']} vs candidate {candidate['params']}"
+        )
+    hb, hc = baseline.get("host", {}), candidate.get("host", {})
+    for key in ("usable_cores", "pool_start_method"):
+        if hb.get(key) != hc.get(key):
+            warnings.append(
+                f"host {key} differs: {hb.get(key)!r} vs {hc.get(key)!r} "
+                "(wall-time deltas may be host noise)"
+            )
+
+    rows = []
+    regressions = []
+
+    def add_row(name: str, old, new) -> None:
+        if old is None or new is None:
+            rows.append({
+                "name": name, "base_s": old, "cand_s": new,
+                "delta_s": None, "delta_pct": None,
+                "flag": "added" if old is None else "removed",
+            })
+            return
+        pct = _pct(old, new)
+        flag = ""
+        if pct is not None and pct > threshold_pct:
+            flag = "REGRESSION"
+            regressions.append(name)
+        elif pct is not None and pct < -threshold_pct:
+            flag = "improved"
+        rows.append({
+            "name": name, "base_s": old, "cand_s": new,
+            "delta_s": new - old, "delta_pct": pct, "flag": flag,
+        })
+
+    add_row("wall_s", float(baseline["wall_s"]), float(candidate["wall_s"]))
+    stages = sorted(
+        set(baseline["per_stage"]) | set(candidate["per_stage"])
+    )
+    for name in stages:
+        add_row(
+            f"per_stage.{name}",
+            baseline["per_stage"].get(name),
+            candidate["per_stage"].get(name),
+        )
+    return {
+        "bench": baseline["bench"],
+        "comparable": not warnings,
+        "warnings": warnings,
+        "rows": rows,
+        "regressions": regressions,
+    }
+
+
+def render(result: dict) -> str:
+    """The human rendering of :func:`compare_bench`."""
+    lines = [f"== bench diff: {result['bench']} =="]
+    for w in result["warnings"]:
+        lines.append(f"warning: {w}")
+    lines.append(
+        f"  {'quantity':<32s} {'baseline':>12s} {'candidate':>12s} "
+        f"{'delta':>12s} {'%':>8s}"
+    )
+    for row in result["rows"]:
+        base = f"{row['base_s']:.4f}s" if row["base_s"] is not None else "-"
+        cand = f"{row['cand_s']:.4f}s" if row["cand_s"] is not None else "-"
+        delta = (
+            f"{row['delta_s']:+.4f}s" if row["delta_s"] is not None else "-"
+        )
+        pct = (
+            f"{row['delta_pct']:+.1f}%" if row["delta_pct"] is not None else "-"
+        )
+        flag = f"  {row['flag']}" if row["flag"] else ""
+        lines.append(
+            f"  {row['name']:<32s} {base:>12s} {cand:>12s} "
+            f"{delta:>12s} {pct:>8s}{flag}"
+        )
+    if result["regressions"]:
+        lines.append(
+            f"{len(result['regressions'])} regression(s): "
+            + ", ".join(result["regressions"])
+        )
+    else:
+        lines.append("no regressions past threshold")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two benchmarks/out/*.json artifacts."
+    )
+    parser.add_argument("baseline", help="the older bench JSON")
+    parser.add_argument("candidate", help="the newer bench JSON")
+    parser.add_argument(
+        "--threshold-pct", type=float, default=10.0, metavar="PCT",
+        help="flag quantities more than PCT%% slower as regressions "
+        "(default 10)",
+    )
+    parser.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit 1 when any quantity regresses past the threshold",
+    )
+    args = parser.parse_args(argv)
+    try:
+        baseline = load_bench(args.baseline)
+        candidate = load_bench(args.candidate)
+        result = compare_bench(
+            baseline, candidate, threshold_pct=args.threshold_pct
+        )
+    except ValueError as exc:
+        print(f"compare_bench_json: {exc}", file=sys.stderr)
+        return 2
+    print(render(result))
+    if args.fail_on_regression and result["regressions"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

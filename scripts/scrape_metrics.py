@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Scrape and parse a repro ``/metrics`` endpoint (Prometheus text).
+
+The CI ``obs-live-smoke`` job starts ``repro monitor --serve-metrics``
+in the background and needs a mid-run scrape that (a) retries until the
+server is up *and* every required family has been minted by the engine,
+(b) *parses* the exposition format rather than grepping it, and
+(c) asserts that required metric families are present.  Stdlib only,
+like everything else in this repo.
+
+Usage::
+
+    python scripts/scrape_metrics.py http://127.0.0.1:9464/metrics \
+        --timeout 40 \
+        --require repro_monitor_window_kappa \
+        --require repro_monitor_windows_total
+
+Exit 0 when the scrape succeeds and every ``--require`` family is
+present; exit 1 otherwise.  ``parse_prometheus`` is importable from
+tests — the acceptance criterion is a parsed scrape, not a string
+match.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import time
+import urllib.error
+import urllib.request
+
+#: ``metric_name{labels} value`` — labels optional, value last.
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_value(token: str) -> float:
+    if token == "+Inf":
+        return float("inf")
+    if token == "-Inf":
+        return float("-inf")
+    if token == "NaN":
+        return float("nan")
+    return float(token)
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse Prometheus text exposition format 0.0.4 into plain data.
+
+    Returns ``{family: {"type": str|None, "help": str|None, "samples":
+    [(name, labels_dict, value), ...]}}`` where *family* is the base
+    metric name from ``# TYPE`` (or the sample name itself for untyped
+    series).  Histogram ``_bucket``/``_sum``/``_count`` samples attach
+    to their family.  Raises :class:`ValueError` on malformed lines —
+    a scrape must be parseable, not merely greppable.
+    """
+    families: dict[str, dict] = {}
+    typed: dict[str, str] = {}
+
+    def family_of(sample_name: str) -> str:
+        for fam in typed:
+            if sample_name == fam or (
+                typed[fam] == "histogram"
+                and sample_name in (f"{fam}_bucket", f"{fam}_sum", f"{fam}_count")
+            ):
+                return fam
+        return sample_name
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                raise ValueError(f"line {lineno}: malformed TYPE comment")
+            _, _, name, mtype = parts
+            typed[name] = mtype
+            families.setdefault(
+                name, {"type": None, "help": None, "samples": []}
+            )["type"] = mtype
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                raise ValueError(f"line {lineno}: malformed HELP comment")
+            name = parts[2]
+            families.setdefault(
+                name, {"type": None, "help": None, "samples": []}
+            )["help"] = parts[3] if len(parts) > 3 else ""
+            continue
+        if line.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: unparseable sample {line!r}")
+        labels = {}
+        if m.group("labels"):
+            pairs = _LABEL_RE.findall(m.group("labels"))
+            if not pairs:
+                raise ValueError(f"line {lineno}: unparseable labels")
+            labels = {
+                k: v.replace(r"\"", '"').replace(r"\n", "\n").replace("\\\\", "\\")
+                for k, v in pairs
+            }
+        value = _parse_value(m.group("value"))
+        fam = family_of(m.group("name"))
+        families.setdefault(fam, {"type": None, "help": None, "samples": []})[
+            "samples"
+        ].append((m.group("name"), labels, value))
+    return families
+
+
+def scrape(url: str, timeout_s: float, require=()) -> dict:
+    """GET and parse ``url``, retrying until every ``require`` family shows.
+
+    Retries cover both failure modes of a mid-run scrape: the server not
+    yet listening, and the server up before the engine has minted the
+    awaited families (e.g. no window has closed yet, so the per-session
+    kappa gauge does not exist).  Raises :class:`TimeoutError` when
+    ``timeout_s`` elapses first; parse errors propagate immediately — a
+    malformed exposition will not fix itself.
+    """
+    deadline = time.monotonic() + timeout_s
+    last: str | None = None
+    while True:
+        try:
+            with urllib.request.urlopen(url, timeout=5) as resp:
+                families = parse_prometheus(resp.read().decode("utf-8"))
+        except (urllib.error.URLError, OSError) as exc:
+            last = str(exc)
+        else:
+            missing = [f for f in require if f not in families]
+            if not missing:
+                return families
+            last = f"missing families {missing}, present {sorted(families)}"
+        if time.monotonic() >= deadline:
+            raise TimeoutError(
+                f"no satisfying scrape from {url} within {timeout_s:g}s: {last}"
+            )
+        time.sleep(0.25)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Scrape and parse a repro /metrics endpoint."
+    )
+    parser.add_argument("url", help="the /metrics URL to scrape")
+    parser.add_argument("--timeout", type=float, default=30.0, metavar="S",
+                        help="seconds to keep retrying (default 30)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="FAMILY",
+                        help="metric family that must be present (repeatable)")
+    args = parser.parse_args(argv)
+    try:
+        families = scrape(args.url, args.timeout, require=args.require)
+    except TimeoutError as exc:
+        print(f"SCRAPE FAILED: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"PARSE FAILED: {exc}", file=sys.stderr)
+        return 1
+    n_samples = sum(len(f["samples"]) for f in families.values())
+    print(f"OK: {len(families)} families, {n_samples} samples")
+    for fam in args.require:
+        for name, labels, value in families[fam]["samples"]:
+            rendered = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            print(f"  {name}{{{rendered}}} = {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -537,6 +537,7 @@ class KappaMonitor:
         s = self._sessions.get(session)
         if s is None:
             s = self._sessions[session] = _Session()
+            metrics.gauge("monitor.sessions").set(len(self._sessions))
         if s.done:
             raise ValueError(f"session {session!r} is already finished")
         if tags.shape[0] == 0:
@@ -605,6 +606,15 @@ class KappaMonitor:
         with span("analysis.monitor.window", session=session, window=w):
             vec = _window_vector(Trial(tags_a, times_a), Trial(tags_b, times_b))
         kappa = vec.kappa()
+        # Publish the freshest windowed κ to the live observation channel
+        # (/metrics, counter tracks) — one labeled gauge per session.
+        # Observation only: nothing here feeds back into any metric.
+        from ..obs.live import LIVE_GAUGES
+
+        LIVE_GAUGES.set("monitor.window_kappa", {"session": session}, kappa)
+        LIVE_GAUGES.set(
+            "monitor.window_index", {"session": session}, float(w)
+        )
         s.kappas.append(kappa)
         drop = len(s.kappas) - self.history
         if drop > 0:

@@ -31,7 +31,12 @@ output can be redirected into experiment logs.  ``--trace FILE.json``
 of every pipeline stage — parent and worker processes alike — loadable in
 Perfetto / ``chrome://tracing``; ``--stats`` prints the stage/counter
 summary to stderr after the command (see :mod:`repro.obs` and
-``docs/observability.md``).  Commands that simulate or
+``docs/observability.md``).  Long-running invocations stream instead of
+buffering: ``--stream-trace FILE`` flushes spans incrementally through a
+bounded ring (O(buffer) memory at any trace length), ``--counter-tick
+MS`` samples engine counters into Chrome ``ph:"C"`` tracks, and
+``--serve-metrics PORT`` exposes ``/metrics`` (Prometheus text) +
+``/healthz`` while the command runs.  Commands that simulate or
 run the Section-3 analysis honor ``--jobs N`` (default from ``REPRO_JOBS``
 or 1), fanning both the trial simulation and the comparison across N
 processes via :mod:`repro.parallel` — every comparison stage shards,
@@ -79,8 +84,28 @@ def build_parser() -> argparse.ArgumentParser:
             "(Perfetto-loadable; default REPRO_TRACE if set)",
         )
         p.add_argument(
+            "--stream-trace", default=None, metavar="FILE",
+            help="stream spans incrementally to FILE (.json Chrome array "
+            "or .jsonl) through a bounded ring — O(buffer) memory for "
+            "runs of any length (default REPRO_STREAM_TRACE if set; "
+            "mutually exclusive with --trace)",
+        )
+        p.add_argument(
+            "--serve-metrics", type=int, default=None, metavar="PORT",
+            help="serve /metrics (Prometheus text) and /healthz on "
+            "127.0.0.1:PORT while the command runs (0 picks a free "
+            "port; default REPRO_METRICS_PORT if set)",
+        )
+        p.add_argument(
+            "--counter-tick", type=float, default=None, metavar="MS",
+            help="sample engine counters/gauges into Chrome counter "
+            "tracks every MS milliseconds (default "
+            "REPRO_COUNTER_TICK_MS, else 250 when tracing; 0 disables)",
+        )
+        p.add_argument(
             "--stats", action="store_true",
-            help="print stage timings and engine counters to stderr",
+            help="print stage timings and engine counters (with "
+            "p50/p95/p99 histogram quantiles) to stderr",
         )
 
     add_obs(sub.add_parser(
@@ -615,9 +640,12 @@ def main(argv: list[str] | None = None) -> int:
 
     The worker pool (if any stage created one) is torn down before
     returning — on success, error exit codes, and exceptions alike — so a
-    CLI invocation can never leak worker processes.  When tracing or
-    ``--stats`` is requested, the trace file and summary are emitted after
-    the pool shutdown, so worker telemetry from every stage is included.
+    CLI invocation can never leak worker processes.  Observability
+    teardown is ordered after it so every artifact includes worker
+    telemetry from every stage: pool drains, then the counter sampler
+    takes its final sample, then the streaming sink flushes and closes,
+    then the one-shot trace/stats are emitted, and the metrics server
+    (which only ever reads snapshots) goes down last.
     """
     import os
 
@@ -632,14 +660,54 @@ def main(argv: list[str] | None = None) -> int:
 
         configure_store(args.store)
     trace_path = getattr(args, "trace", None) or os.environ.get("REPRO_TRACE")
+    stream_path = (
+        getattr(args, "stream_trace", None)
+        or os.environ.get("REPRO_STREAM_TRACE")
+    )
+    if trace_path and stream_path:
+        print(
+            "repro: --trace and --stream-trace are mutually exclusive "
+            "(one-shot export vs incremental streaming)",
+            file=sys.stderr,
+        )
+        return 2
     want_stats = bool(getattr(args, "stats", False))
-    if trace_path or want_stats:
+    serve_port = getattr(args, "serve_metrics", None)
+    if serve_port is None and os.environ.get("REPRO_METRICS_PORT"):
+        serve_port = int(os.environ["REPRO_METRICS_PORT"])
+    tick_ms = getattr(args, "counter_tick", None)
+    if tick_ms is None and os.environ.get("REPRO_COUNTER_TICK_MS"):
+        tick_ms = float(os.environ["REPRO_COUNTER_TICK_MS"])
+    if tick_ms is None:
+        tick_ms = 250.0 if (trace_path or stream_path) else 0.0
+
+    tracing = bool(trace_path or stream_path or want_stats)
+    sink = sampler = server = None
+    if tracing:
         from .obs import trace
 
         trace.enable()
         trace.set_meta("command", args.command)
+    if stream_path:
+        from .obs import trace
+        from .obs.sink import SpanSink
+
+        sink = SpanSink(stream_path)
+        trace.install_sink(sink)
+    if tick_ms > 0 and (sink is not None or trace_path):
+        from .obs.live import COUNTER_EVENTS, CounterSampler
+
+        sampler = CounterSampler(
+            sink if sink is not None else COUNTER_EVENTS,
+            interval_s=tick_ms / 1e3,
+        )
+    if serve_port is not None:
+        from .obs.live import MetricsServer
+
+        server = MetricsServer(serve_port).start()
+        print(f"metrics: serving on {server.url}/metrics", file=sys.stderr)
     try:
-        if trace_path or want_stats:
+        if tracing:
             with trace.span("cli." + args.command):
                 return _COMMANDS[args.command](args)
         return _COMMANDS[args.command](args)
@@ -652,8 +720,31 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     finally:
         shutdown_pool()
+        if sampler is not None:
+            sampler.close()
+        if sink is not None:
+            from .obs import trace
+
+            trace.uninstall_sink()
+            sink.close()
+            print(f"streaming trace written to {stream_path}", file=sys.stderr)
         if trace_path or want_stats:
             _emit_observability(trace_path, want_stats)
+        if server is not None:
+            # Flush before the optional hold: the scrape-then-kill CI
+            # pattern SIGTERMs us mid-hold, and block-buffered stdout
+            # would lose the command's output.
+            for stream in (sys.stdout, sys.stderr):
+                try:
+                    stream.flush()
+                except Exception:
+                    pass
+            hold_s = os.environ.get("REPRO_METRICS_HOLD_S")
+            if hold_s:
+                import time
+
+                time.sleep(float(hold_s))
+            server.close()
 
 
 def _emit_observability(trace_path: str | None, want_stats: bool) -> None:

@@ -17,17 +17,26 @@ logging, no timers, no visibility into the process pool.  Three layers:
 * :mod:`~repro.obs.worker` — worker-side collection: pool tasks ship
   their spans and metric deltas back piggybacked on results
   (:class:`~repro.obs.worker.TaskTelemetry`), merged parent-side with
-  correct pid attribution so one timeline shows the whole fan-out.
+  correct pid attribution so one timeline shows the whole fan-out;
+* :mod:`~repro.obs.sink` — the streaming span sink: bounded ring +
+  background flusher writing spans and counter samples incrementally to
+  JSONL/Chrome files, O(capacity) memory for traces of any length;
+* :mod:`~repro.obs.live` — live telemetry: counter-track sampling on a
+  tick (Chrome ``ph:"C"`` events), per-session labeled gauges, and the
+  zero-dependency ``/metrics`` (Prometheus text) + ``/healthz`` server.
 
 Surface: ``repro ... --trace FILE.json`` / ``--stats`` on every CLI
-command, or ``REPRO_TRACE=FILE.json`` in the environment.  Observation
-is inert by construction — κ and every ``MetricVector`` are
-bit-identical with tracing on or off (``tests/test_obs.py``).
+command, or ``REPRO_TRACE=FILE.json`` in the environment; long-running
+commands add ``--stream-trace FILE`` (incremental, bounded memory),
+``--serve-metrics PORT`` and ``--counter-tick MS``.  Observation is
+inert by construction — κ and every ``MetricVector`` are bit-identical
+with tracing on or off (``tests/test_obs.py``,
+``tests/test_obs_live.py``).
 
 See ``docs/observability.md`` for the span catalog and Perfetto how-to.
 """
 
-from . import export, metrics, trace, worker
+from . import export, live, metrics, sink, trace, worker
 from .export import (
     chrome_trace,
     spans_jsonl,
@@ -36,20 +45,39 @@ from .export import (
     write_chrome_trace,
     write_spans_jsonl,
 )
-from .metrics import REGISTRY, Registry, counter, gauge, histogram
+from .live import (
+    COUNTER_EVENTS,
+    LIVE_GAUGES,
+    CounterSampler,
+    LabeledGauges,
+    MetricsServer,
+    prometheus_text,
+)
+from .metrics import (
+    REGISTRY,
+    Registry,
+    counter,
+    gauge,
+    histogram,
+    histogram_quantile,
+)
+from .sink import SpanSink
 from .trace import (
     SpanRecord,
     TraceBuffer,
+    active_sink,
     disable,
     drain,
     enable,
     get_meta,
+    install_sink,
     is_enabled,
     records,
     reset,
     set_meta,
     span,
     traced,
+    uninstall_sink,
 )
 from .worker import TaskEnvelope, TaskTelemetry, absorb, run_local, run_traced
 
@@ -58,6 +86,19 @@ __all__ = [
     "metrics",
     "export",
     "worker",
+    "sink",
+    "live",
+    "SpanSink",
+    "CounterSampler",
+    "LabeledGauges",
+    "MetricsServer",
+    "prometheus_text",
+    "COUNTER_EVENTS",
+    "LIVE_GAUGES",
+    "install_sink",
+    "active_sink",
+    "uninstall_sink",
+    "histogram_quantile",
     "span",
     "traced",
     "enable",

@@ -29,7 +29,7 @@ import os
 from pathlib import Path
 
 from . import trace
-from .metrics import REGISTRY, bucket_bounds
+from .metrics import REGISTRY, bucket_bounds, histogram_quantile
 
 __all__ = [
     "chrome_trace",
@@ -87,14 +87,21 @@ def _spans_or_buffer(spans) -> list[trace.SpanRecord]:
 def chrome_trace(spans=None, *, meta: dict | None = None) -> dict:
     """The buffered spans as a Chrome ``trace_event`` JSON object.
 
-    Timestamps are microseconds relative to the earliest span, so the
+    Timestamps are microseconds relative to the earliest event, so the
     timeline starts at zero regardless of wall-clock epoch.  ``spans``
     defaults to the process buffer; ``meta`` extends the accumulated
-    run metadata.
+    run metadata.  Counter samples accumulated in
+    :data:`repro.obs.live.COUNTER_EVENTS` (the ``--counter-tick`` path
+    for one-shot ``--trace`` runs) merge in as ``ph:"C"`` events — one
+    Perfetto counter track per metric name.
     """
+    from .live import COUNTER_EVENTS
+
     spans = _spans_or_buffer(spans)
+    counters = COUNTER_EVENTS.events()
     parent_pid = os.getpid()
-    origin_ns = min((s.start_ns for s in spans), default=0)
+    starts = [s.start_ns for s in spans] + [ts for _, ts, _, _ in counters]
+    origin_ns = min(starts, default=0)
     events = []
     seen_pids: set[int] = set()
     for s in spans:
@@ -124,12 +131,39 @@ def chrome_trace(spans=None, *, meta: dict | None = None) -> dict:
                 "args": args,
             }
         )
+    for name, ts_ns, value, pid in counters:
+        if pid not in seen_pids:
+            seen_pids.add(pid)
+            label = "repro (parent)" if pid == parent_pid else f"worker {pid}"
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": label},
+                }
+            )
+        events.append(
+            {
+                "name": name,
+                "cat": "repro",
+                "ph": "C",
+                "ts": (ts_ns - origin_ns) / 1e3,
+                "pid": pid,
+                "tid": 0,
+                "args": {"value": value},
+            }
+        )
     other = dict(trace.get_meta())
     if meta:
         other.update(meta)
     other.setdefault("parent_pid", parent_pid)
     other["n_spans"] = len(spans)
     other["dropped_spans"] = trace.BUFFER.dropped
+    other["buffer_high_water"] = trace.BUFFER.high_water
+    other["n_counter_events"] = len(counters)
+    other["dropped_counter_events"] = COUNTER_EVENTS.dropped
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -228,6 +262,16 @@ def stats_table(spans=None, registry=None, *, meta: dict | None = None) -> str:
                 f"  {name:<32s} count={h['count']} mean={mean / 1e6:.3f}ms "
                 f"min={h['min'] / 1e6:.3f}ms max={h['max'] / 1e6:.3f}ms"
             )
+            # Derived quantiles (log2-bucket interpolated estimates) so
+            # the tail — the warm-pool first-task latency story for
+            # pool.queue_wait_ns — is readable without a trace viewer.
+            p50, p95, p99 = (
+                histogram_quantile(h, q) for q in (0.50, 0.95, 0.99)
+            )
+            lines.append(
+                f"    p50={p50 / 1e6:.3f}ms p95={p95 / 1e6:.3f}ms "
+                f"p99={p99 / 1e6:.3f}ms (log2-bucket estimate)"
+            )
             peaks = sorted(
                 (i for i, c in enumerate(h["counts"]) if c),
                 key=lambda i: -h["counts"][i],
@@ -250,27 +294,62 @@ def validate_chrome_trace(
     *,
     min_worker_pids: int = 0,
     require_spans: tuple[str, ...] = (),
+    require_counters: tuple[str, ...] = (),
+    min_counter_events: int = 0,
 ) -> dict:
     """Check a trace file (or dict) against the ``trace_event`` schema.
 
+    Accepts both trace shapes the toolkit writes: the **Object Format**
+    (``{"traceEvents": [...], "otherData": {...}}`` from ``--trace``)
+    and the **JSON Array Format** a streaming
+    :class:`~repro.obs.sink.SpanSink` produces (``--stream-trace`` —
+    a bare event array whose run metadata rides in the trailing
+    ``trace_meta`` instant event).
+
     Raises :class:`ValueError` on any violation; returns a summary dict
-    (event count, span names, worker pids) on success.  ``require_spans``
-    lists span names that must appear; ``min_worker_pids`` sets the
-    least number of distinct non-parent pids expected — the acceptance
-    check that a fan-out trace really covers the worker processes.
+    on success.  Checks, beyond per-event schema:
+
+    * ``require_spans`` — span names that must appear;
+    * ``min_worker_pids`` — least distinct non-parent pids (the
+      acceptance check that a fan-out trace covers the workers);
+    * counter (``ph:"C"``) events carry numeric non-negative ``ts`` and
+      an ``args`` object of numeric values, and each ``(pid, name)``
+      counter track's ``ts`` is non-decreasing;
+    * ``require_counters`` / ``min_counter_events`` — counter-track
+      coverage for live-telemetry smoke checks.
+
+    The summary surfaces the trace's own drop accounting
+    (``dropped_spans``, ``buffer_high_water`` — from ``otherData`` or
+    the sink's ``sink_dropped``/``sink_high_water`` meta), so a
+    truncated trace is detected, never silently partial.
     """
     if isinstance(source, (str, Path)):
         doc = json.loads(Path(source).read_text())
     else:
         doc = source
-    if not isinstance(doc, dict) or "traceEvents" not in doc:
-        raise ValueError("not a trace_event JSON object (missing traceEvents)")
-    events = doc["traceEvents"]
+    if isinstance(doc, list):
+        events = doc
+        meta = {}
+        for ev in reversed(events):
+            if isinstance(ev, dict) and ev.get("name") == "trace_meta":
+                meta = dict(ev.get("args") or {})
+                break
+    elif isinstance(doc, dict) and "traceEvents" in doc:
+        events = doc["traceEvents"]
+        meta = dict(doc.get("otherData") or {})
+    else:
+        raise ValueError(
+            "not a trace_event document (expected an event array or an "
+            "object with traceEvents)"
+        )
     if not isinstance(events, list):
         raise ValueError("traceEvents must be a list")
     names: set[str] = set()
+    counter_names: set[str] = set()
     pids: set[int] = set()
     n_complete = 0
+    n_counter = 0
+    last_counter_ts: dict[tuple, float] = {}
     for i, ev in enumerate(events):
         if not isinstance(ev, dict):
             raise ValueError(f"event {i} is not an object")
@@ -286,27 +365,64 @@ def validate_chrome_trace(
             n_complete += 1
             names.add(ev["name"])
             pids.add(ev["pid"])
-        elif ev["ph"] not in ("M", "C", "B", "E", "i"):
+        elif ev["ph"] == "C":
+            if "ts" not in ev or not isinstance(ev["ts"], (int, float)):
+                raise ValueError(f"counter event {i} missing numeric 'ts'")
+            if ev["ts"] < 0:
+                raise ValueError(f"counter event {i} has negative ts")
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                raise ValueError(f"counter event {i} needs a non-empty args object")
+            for k, v in args.items():
+                if not isinstance(v, (int, float)) or isinstance(v, bool):
+                    raise ValueError(
+                        f"counter event {i} arg {k!r} is not numeric"
+                    )
+            track = (ev["pid"], ev["name"])
+            if ev["ts"] < last_counter_ts.get(track, float("-inf")):
+                raise ValueError(
+                    f"counter event {i} ts goes backwards on track {track}"
+                )
+            last_counter_ts[track] = ev["ts"]
+            n_counter += 1
+            counter_names.add(ev["name"])
+        elif ev["ph"] not in ("M", "B", "E", "i"):
             raise ValueError(f"event {i} has unsupported phase {ev['ph']!r}")
     if n_complete == 0:
         raise ValueError("trace contains no complete (ph=X) span events")
-    parent_pid = doc.get("otherData", {}).get("parent_pid")
+    parent_pid = meta.get("parent_pid")
     worker_pids = pids - ({parent_pid} if parent_pid is not None else set())
     missing = [n for n in require_spans if n not in names]
     if missing:
         raise ValueError(f"trace is missing required span names: {missing}")
+    missing_counters = [n for n in require_counters if n not in counter_names]
+    if missing_counters:
+        raise ValueError(
+            f"trace is missing required counter tracks: {missing_counters}"
+        )
+    if n_counter < min_counter_events:
+        raise ValueError(
+            f"trace has {n_counter} counter events, "
+            f"expected >= {min_counter_events}"
+        )
     if len(worker_pids) < min_worker_pids:
         raise ValueError(
             f"trace covers {len(worker_pids)} worker pids, "
             f"expected >= {min_worker_pids}"
         )
+    dropped = meta.get("dropped_spans", meta.get("sink_dropped"))
+    high_water = meta.get("buffer_high_water", meta.get("sink_high_water"))
     return {
         "n_events": len(events),
         "n_spans": n_complete,
+        "n_counter_events": n_counter,
         "span_names": sorted(names),
+        "counter_names": sorted(counter_names),
         "parent_pid": parent_pid,
         "worker_pids": sorted(worker_pids),
-        "meta": doc.get("otherData", {}),
+        "dropped_spans": dropped,
+        "buffer_high_water": high_water,
+        "meta": meta,
     }
 
 
@@ -323,19 +439,28 @@ def _main(argv=None) -> int:
     parser.add_argument("--min-worker-pids", type=int, default=0)
     parser.add_argument("--require", nargs="*", default=[],
                         metavar="SPAN", help="span names that must be present")
+    parser.add_argument("--require-counter", action="append", default=[],
+                        metavar="NAME",
+                        help="counter track names that must be present")
+    parser.add_argument("--min-counter-events", type=int, default=0)
     args = parser.parse_args(argv)
     try:
         summary = validate_chrome_trace(
             args.trace,
             min_worker_pids=args.min_worker_pids,
             require_spans=tuple(args.require),
+            require_counters=tuple(args.require_counter),
+            min_counter_events=args.min_counter_events,
         )
     except ValueError as e:
         print(f"INVALID: {e}")
         return 1
+    dropped = summary["dropped_spans"]
+    drop_note = f", {dropped} dropped" if dropped else ""
     print(
         f"OK: {summary['n_spans']} spans, "
-        f"{len(summary['worker_pids'])} worker pids, "
+        f"{summary['n_counter_events']} counter events, "
+        f"{len(summary['worker_pids'])} worker pids{drop_note}, "
         f"stages: {', '.join(summary['span_names'])}"
     )
     return 0

@@ -1,0 +1,434 @@
+"""Live telemetry: counter-track sampling and a `/metrics` exposition.
+
+The registry (:mod:`repro.obs.metrics`) is a snapshot-at-exit story;
+this module makes it *watchable* while the process runs — the layer
+PASTRAMI argues for (performance is only trustworthy when instability
+is observed continuously, PAPERS.md) and the per-node live telemetry
+IoTreeplay builds replay coordination on.  Three pieces, all
+zero-dependency:
+
+* :class:`CounterSampler` — a background thread sampling the registry's
+  counters and gauges (plus the labeled :data:`LIVE_GAUGES`) on a
+  configurable tick and emitting one sample per *changed* metric.
+  Pointed at a :class:`~repro.obs.sink.SpanSink` it produces Chrome
+  ``ph:"C"`` counter events, so Perfetto shows ``pool.tasks_inflight``,
+  ``sweep.units_done`` or per-session windowed κ as live tracks
+  alongside the spans; pointed at :data:`COUNTER_EVENTS` (the bounded
+  in-memory buffer) the samples ride into the one-shot ``--trace``
+  export instead.
+* :class:`LabeledGauges` — last-write-wins gauges with labels, for the
+  metrics the flat registry can't name: ``monitor.window_kappa`` keyed
+  by session.  :class:`~repro.analysis.streamkappa.KappaMonitor`
+  publishes here on every window close.
+* :class:`MetricsServer` — an opt-in ``http.server``-based snapshot
+  server (``--serve-metrics PORT`` / ``REPRO_METRICS_PORT``):
+  ``/metrics`` renders the registry and the labeled gauges in Prometheus
+  text exposition format 0.0.4 (:func:`prometheus_text` — log2-ns
+  histograms become cumulative ``le`` buckets), ``/healthz`` a JSON
+  snapshot (uptime, run metadata, counters, gauges).  Serving reads
+  snapshots only: like every :mod:`repro.obs` layer it is **inert** —
+  a scraped run produces bit-identical metric outputs to an unscraped
+  one (the differential guard in ``tests/test_obs_live.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+import threading
+import time
+
+from . import trace
+from .metrics import REGISTRY, Registry, bucket_bounds
+
+__all__ = [
+    "LabeledGauges",
+    "LIVE_GAUGES",
+    "CounterEventBuffer",
+    "COUNTER_EVENTS",
+    "CounterSampler",
+    "MetricsServer",
+    "prometheus_text",
+]
+
+
+# ----------------------------------------------------------------------
+# Labeled gauges (the per-session κ channel)
+# ----------------------------------------------------------------------
+
+class LabeledGauges:
+    """Thread-safe last-write-wins gauges with label sets.
+
+    The flat registry names one value per metric; live monitoring needs
+    one value per (metric, labels) — ``monitor.window_kappa`` per
+    session.  Writers call :meth:`set` from wherever the value is born
+    (a window close, a sweep unit completion); readers take
+    :meth:`snapshot`.  Values are plain floats: this is an observation
+    channel, never an input to any metric.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._values: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+
+    def set(self, name: str, labels: dict, value: float) -> None:
+        key = (name, tuple(sorted((str(k), str(v)) for k, v in labels.items())))
+        with self._lock:
+            self._values[key] = float(value)
+
+    def snapshot(self) -> list[tuple[str, dict, float]]:
+        """``(name, labels, value)`` triples, sorted for stable output."""
+        with self._lock:
+            items = sorted(self._values.items())
+        return [(name, dict(labels), value) for (name, labels), value in items]
+
+    def reset(self) -> None:
+        """Drop every gauge (tests)."""
+        with self._lock:
+            self._values.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._values)
+
+
+#: The process-global labeled-gauge store (sessions' windowed κ lives here).
+LIVE_GAUGES = LabeledGauges()
+
+
+# ----------------------------------------------------------------------
+# Counter samples for the one-shot (in-memory) trace export
+# ----------------------------------------------------------------------
+
+class CounterEventBuffer:
+    """Bounded in-memory counter-sample store with counted drops.
+
+    The ``--trace`` twin of streaming into a sink: samples accumulate
+    here and :func:`repro.obs.export.chrome_trace` merges them into the
+    exported timeline as ``ph:"C"`` events.
+    """
+
+    def __init__(self, max_events: int = 200_000) -> None:
+        self._lock = threading.Lock()
+        self._events: list[tuple[str, int, float, int]] = []
+        self._dropped = 0
+        self.max_events = int(max_events)
+
+    def offer_counter(
+        self, name: str, ts_ns: int, value: float, pid: int | None = None
+    ) -> bool:
+        if pid is None:
+            pid = os.getpid()
+        with self._lock:
+            if len(self._events) >= self.max_events:
+                self._dropped += 1
+                return False
+            self._events.append((name, int(ts_ns), float(value), pid))
+        return True
+
+    def events(self) -> list[tuple[str, int, float, int]]:
+        """A snapshot of ``(name, ts_ns, value, pid)`` samples."""
+        with self._lock:
+            return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        with self._lock:
+            return self._dropped
+
+    def reset(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self._dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+#: Samples destined for the one-shot ``--trace`` export.
+COUNTER_EVENTS = CounterEventBuffer()
+
+
+# ----------------------------------------------------------------------
+# The sampler
+# ----------------------------------------------------------------------
+
+class CounterSampler:
+    """Sample the registry into counter-track events on a fixed tick.
+
+    ``target`` is anything with an ``offer_counter(name, ts_ns, value,
+    pid)`` method — a :class:`~repro.obs.sink.SpanSink` (streaming) or a
+    :class:`CounterEventBuffer` (one-shot export).  Each tick snapshots
+    the registry's counters and gauges plus the labeled live gauges and
+    emits one sample per metric **whose value changed** since its last
+    emission (every metric is emitted on its first sighting, and
+    :meth:`close` takes one final sample, so even a sub-tick run gets
+    each track's last word).  Labeled gauges render as
+    ``name{k=v,...}`` track names — one Perfetto track per session.
+
+    Sampling reads snapshots and writes to the observation channel only:
+    it can never change a metric output (``TestLiveObservabilityIsInert``
+    pins this).
+    """
+
+    def __init__(
+        self,
+        target,
+        *,
+        interval_s: float = 0.25,
+        registry: Registry | None = None,
+        live: LabeledGauges | None = None,
+        autostart: bool = True,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.target = target
+        self.interval_s = float(interval_s)
+        self.registry = REGISTRY if registry is None else registry
+        self.live = LIVE_GAUGES if live is None else live
+        self._last: dict[str, float] = {}
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._pid = os.getpid()
+        self.samples_emitted = 0
+        if autostart:
+            self.start()
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="repro-counter-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.sample()
+
+    def sample(self) -> int:
+        """Take one sample now; returns the number of events emitted."""
+        ts = time.time_ns()
+        snap = self.registry.snapshot()
+        emitted = 0
+        series: list[tuple[str, float]] = []
+        series.extend((name, float(v)) for name, v in snap["counters"].items())
+        series.extend((name, float(v)) for name, v in snap["gauges"].items())
+        for name, labels, value in self.live.snapshot():
+            if labels:
+                rendered = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+                series.append((f"{name}{{{rendered}}}", value))
+            else:
+                series.append((name, value))
+        for name, value in series:
+            if self._last.get(name) == value:
+                continue
+            self._last[name] = value
+            if self.target.offer_counter(name, ts, value, self._pid):
+                emitted += 1
+        self.samples_emitted += emitted
+        return emitted
+
+    def close(self) -> None:
+        """Stop the tick thread after one final sample (idempotent)."""
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        self.sample()
+
+    def __enter__(self) -> "CounterSampler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name: str) -> str:
+    """A registry metric name as a Prometheus metric name."""
+    sanitized = _NAME_RE.sub("_", name)
+    if not sanitized or not (sanitized[0].isalpha() or sanitized[0] == "_"):
+        sanitized = "_" + sanitized
+    return "repro_" + sanitized
+
+
+def _prom_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _prom_number(value: float) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(
+    registry: Registry | None = None, live: LabeledGauges | None = None
+) -> str:
+    """The registry + labeled gauges in Prometheus text format 0.0.4.
+
+    Counters get a ``_total`` suffix, gauges map directly, and the
+    log2-ns histograms render as native Prometheus histograms: cumulative
+    ``_bucket{le="..."}`` series at the power-of-two upper bounds (only
+    up to the highest occupied bucket, then ``+Inf``), plus ``_sum`` and
+    ``_count``.  Values are nanoseconds — the ``_ns`` in every histogram
+    name says so.
+    """
+    registry = REGISTRY if registry is None else registry
+    live = LIVE_GAUGES if live is None else live
+    snap = registry.snapshot()
+    lines: list[str] = []
+
+    for name in sorted(snap["counters"]):
+        prom = _prom_name(name) + "_total"
+        lines.append(f"# HELP {prom} repro counter {name}")
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {snap['counters'][name]}")
+
+    for name in sorted(snap["gauges"]):
+        prom = _prom_name(name)
+        lines.append(f"# HELP {prom} repro gauge {name}")
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_number(snap['gauges'][name])}")
+
+    by_name: dict[str, list[tuple[dict, float]]] = {}
+    for name, labels, value in live.snapshot():
+        by_name.setdefault(name, []).append((labels, value))
+    for name in sorted(by_name):
+        prom = _prom_name(name)
+        lines.append(f"# HELP {prom} repro live gauge {name}")
+        lines.append(f"# TYPE {prom} gauge")
+        for labels, value in by_name[name]:
+            if labels:
+                rendered = ",".join(
+                    f'{_NAME_RE.sub("_", k)}="{_prom_label_value(str(v))}"'
+                    for k, v in sorted(labels.items())
+                )
+                lines.append(f"{prom}{{{rendered}}} {_prom_number(value)}")
+            else:
+                lines.append(f"{prom} {_prom_number(value)}")
+
+    for name in sorted(snap["histograms"]):
+        h = snap["histograms"][name]
+        prom = _prom_name(name)
+        lines.append(f"# HELP {prom} repro log2-ns histogram {name}")
+        lines.append(f"# TYPE {prom} histogram")
+        occupied = [i for i, c in enumerate(h["counts"]) if c]
+        cum = 0
+        for i in range(occupied[-1] + 1 if occupied else 0):
+            cum += h["counts"][i]
+            le = bucket_bounds(i)[1]
+            lines.append(f'{prom}_bucket{{le="{le}"}} {cum}')
+        lines.append(f'{prom}_bucket{{le="+Inf"}} {h["count"]}')
+        lines.append(f"{prom}_sum {h['total']}")
+        lines.append(f"{prom}_count {h['count']}")
+
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# The exposition server
+# ----------------------------------------------------------------------
+
+class MetricsServer:
+    """Zero-dependency ``/metrics`` + ``/healthz`` snapshot server.
+
+    Binds ``host:port`` at construction (``port=0`` asks the OS for an
+    ephemeral port — read :attr:`port` for the real one), serves from a
+    daemon thread after :meth:`start`.  Opt-in only: the CLI starts one
+    for ``--serve-metrics PORT`` / ``REPRO_METRICS_PORT``.  Handlers
+    read registry snapshots — serving can never perturb a metric output.
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        *,
+        host: str = "127.0.0.1",
+        registry: Registry | None = None,
+        live: LabeledGauges | None = None,
+    ) -> None:
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        registry = REGISTRY if registry is None else registry
+        live = LIVE_GAUGES if live is None else live
+        started_ns = time.time_ns()
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    body = prometheus_text(registry, live).encode()
+                    ctype = "text/plain; version=0.0.4; charset=utf-8"
+                elif path == "/healthz":
+                    snap = registry.snapshot()
+                    body = (json.dumps({
+                        "status": "ok",
+                        "pid": os.getpid(),
+                        "uptime_s": (time.time_ns() - started_ns) / 1e9,
+                        "meta": trace.get_meta(),
+                        "counters": snap["counters"],
+                        "gauges": snap["gauges"],
+                        "n_live_gauges": len(live),
+                    }, sort_keys=True) + "\n").encode()
+                    ctype = "application/json"
+                else:
+                    self.send_error(404, "unknown path (try /metrics, /healthz)")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # silence per-request noise
+                pass
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self.host = host
+        self.port = int(self._httpd.server_address[1])
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MetricsServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-metrics-server",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join()
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()

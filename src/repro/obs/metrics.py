@@ -39,6 +39,7 @@ __all__ = [
     "counter",
     "gauge",
     "histogram",
+    "histogram_quantile",
     "N_HIST_BUCKETS",
 ]
 
@@ -245,6 +246,41 @@ class Registry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+
+
+def histogram_quantile(snap: dict, q: float) -> float:
+    """Estimate the ``q``-quantile (0..1) of a histogram snapshot.
+
+    ``snap`` is the plain-data form (:meth:`Histogram.snapshot` or one
+    entry of :meth:`Registry.snapshot`).  The rank is located by walking
+    the cumulative log2 bucket counts, then interpolated linearly inside
+    the bucket's ``[lo, hi)`` range — the standard Prometheus estimate,
+    so a p99 from ``--stats`` matches what a scrape-side
+    ``histogram_quantile()`` would report.  The result is clamped to the
+    exact observed ``[min, max]``, which also makes single-observation
+    histograms report the observation itself rather than a bucket edge.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    total = snap["count"]
+    if not total:
+        return 0.0
+    rank = q * total
+    cum = 0.0
+    value = float(snap["max"] if snap["max"] is not None else 0)
+    for i, c in enumerate(snap["counts"]):
+        if not c:
+            continue
+        if cum + c >= rank:
+            lo, hi = bucket_bounds(i)
+            value = lo + (hi - lo) * max(0.0, rank - cum) / c
+            break
+        cum += c
+    if snap["min"] is not None:
+        value = max(value, float(snap["min"]))
+    if snap["max"] is not None:
+        value = min(value, float(snap["max"]))
+    return value
 
 
 #: The process-global registry all engine instrumentation writes to.

@@ -61,6 +61,9 @@ __all__ = [
     "get_meta",
     "reset",
     "BUFFER",
+    "install_sink",
+    "active_sink",
+    "uninstall_sink",
 ]
 
 #: Module-level enable flag — the no-op fast path's only check.
@@ -92,22 +95,51 @@ class SpanRecord:
 
 
 class TraceBuffer:
-    """Thread-safe append-only span store with a drop-counting cap."""
+    """Thread-safe append-only span store with a drop-counting cap.
+
+    When a *sink* is attached (:meth:`set_sink`) finished spans stream
+    into it instead of accumulating here — the buffer stays empty and a
+    trace of arbitrary length holds O(sink capacity) memory.  The sink
+    counts its own drops; the buffer's ``dropped`` stays the in-memory
+    story.
+    """
 
     def __init__(self, max_spans: int = MAX_BUFFERED_SPANS) -> None:
         self._lock = threading.Lock()
         self._spans: list[SpanRecord] = []
         self._dropped = 0
+        self._high_water = 0
         self.max_spans = max_spans
+        #: Streaming destination; anything with ``offer_span(record)``.
+        self._sink = None
+
+    def set_sink(self, sink) -> None:
+        """Route future spans into ``sink`` (None restores buffering)."""
+        self._sink = sink
+
+    @property
+    def sink(self):
+        return self._sink
 
     def append(self, record: SpanRecord) -> None:
+        sink = self._sink
+        if sink is not None:
+            sink.offer_span(record)
+            return
         with self._lock:
             if len(self._spans) >= self.max_spans:
                 self._dropped += 1
                 return
             self._spans.append(record)
+            if len(self._spans) > self._high_water:
+                self._high_water = len(self._spans)
 
     def extend(self, spans) -> None:
+        sink = self._sink
+        if sink is not None:
+            for record in spans:
+                sink.offer_span(record)
+            return
         with self._lock:
             room = self.max_spans - len(self._spans)
             spans = list(spans)
@@ -115,6 +147,8 @@ class TraceBuffer:
                 self._dropped += len(spans) - room
                 spans = spans[:room]
             self._spans.extend(spans)
+            if len(self._spans) > self._high_water:
+                self._high_water = len(self._spans)
 
     def records(self) -> list[SpanRecord]:
         """A snapshot of the buffered spans (buffer unchanged)."""
@@ -132,6 +166,12 @@ class TraceBuffer:
     def dropped(self) -> int:
         with self._lock:
             return self._dropped
+
+    @property
+    def high_water(self) -> int:
+        """Most spans ever resident in memory at once (export meta)."""
+        with self._lock:
+            return self._high_water
 
     def __len__(self) -> int:
         with self._lock:
@@ -273,9 +313,39 @@ def get_meta() -> dict:
         return dict(_meta)
 
 
+def install_sink(sink) -> None:
+    """Stream future spans into ``sink`` instead of buffering them.
+
+    ``sink`` is anything with ``offer_span(record)`` — in practice a
+    :class:`repro.obs.sink.SpanSink`.  The caller keeps ownership: this
+    never closes a sink, it only routes spans at it.
+    """
+    BUFFER.set_sink(sink)
+
+
+def active_sink():
+    """The currently installed streaming sink, or None."""
+    return BUFFER.sink
+
+
+def uninstall_sink():
+    """Detach and return the streaming sink (not closed), or None."""
+    sink = BUFFER.sink
+    BUFFER.set_sink(None)
+    return sink
+
+
 def reset() -> None:
-    """Disable tracing and clear the buffer and metadata (tests)."""
+    """Disable tracing, detach any sink, clear buffer and metadata (tests).
+
+    A detached sink is *not* closed — the owner that installed it still
+    holds the handle and the file.
+    """
     disable()
+    BUFFER.set_sink(None)
     BUFFER.drain()
     with _meta_lock:
         _meta.clear()
+    with BUFFER._lock:
+        BUFFER._dropped = 0
+        BUFFER._high_water = 0

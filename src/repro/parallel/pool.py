@@ -97,6 +97,19 @@ _executor_jobs: int = 0
 _executor_start: str = ""
 _created_total: int = 0
 
+# Live task depth for the pool.tasks_inflight gauge: bumped at submit,
+# decremented by a done-callback, so a /metrics scrape or counter track
+# shows the pool's instantaneous backlog.
+_inflight_lock = threading.Lock()
+_inflight: int = 0
+
+
+def _inflight_add(n: int) -> None:
+    global _inflight
+    with _inflight_lock:
+        _inflight += n
+        metrics.gauge("pool.tasks_inflight").set(_inflight)
+
 #: Modules the forkserver template imports once; every worker forks with
 #: them warm.  ``repro.parallel.engine`` transitively pulls in the core
 #: metric kernels, the shard workers and the shm transport — the whole
@@ -215,8 +228,12 @@ def submit_task(
     """
     metrics.counter("pool.tasks_submitted").add()
     if name is not None and trace.is_enabled():
-        return pool.submit(run_traced, fn, task, name, attrs, time.time_ns())
-    return pool.submit(fn, task)
+        fut = pool.submit(run_traced, fn, task, name, attrs, time.time_ns())
+    else:
+        fut = pool.submit(fn, task)
+    _inflight_add(1)
+    fut.add_done_callback(lambda _f: _inflight_add(-1))
+    return fut
 
 
 def batch_chunks(items: list, n_batches: int) -> list[list]:
@@ -260,10 +277,15 @@ def submit_batch(
     metrics.counter("pool.tasks_submitted").add(len(tasks))
     metrics.counter("pool.batches_submitted").add()
     if name is not None and trace.is_enabled():
-        return pool.submit(
+        fut = pool.submit(
             run_traced_batch, fn, tasks, name, attrs_list, time.time_ns()
         )
-    return pool.submit(_run_batch, fn, tasks)
+    else:
+        fut = pool.submit(_run_batch, fn, tasks)
+    n = len(tasks)
+    _inflight_add(n)
+    fut.add_done_callback(lambda _f: _inflight_add(-n))
+    return fut
 
 
 def _unwrap(result):

@@ -195,6 +195,10 @@ def run_sweep(
     jobs = default_jobs() if jobs is None else int(jobs)
     t_start = time.perf_counter()
     per_stage: dict[str, float] = {}
+    # Progress gauges for the live observation channel (/metrics, counter
+    # tracks): total plan size up front, completed units as they land.
+    metrics.gauge("sweep.units_total").set(len(plan))
+    metrics.gauge("sweep.units_done").set(0)
 
     # -- stage 1: probe the store -----------------------------------------
     t0 = time.perf_counter()
@@ -240,10 +244,12 @@ def run_sweep(
             misses.append(unit)
     metrics.counter("sweep.units_hit").add(len(results))
     metrics.counter("sweep.units_missed").add(len(misses))
+    metrics.gauge("sweep.units_done").set(len(results))
 
     def _persist(unit: SweepUnit, trials, report_doc: dict) -> None:
         trials = tuple(trials)
         results[unit.digest] = (trials, report_doc)
+        metrics.gauge("sweep.units_done").set(len(results))
         if store is not None:
             store.put(
                 unit.digest,

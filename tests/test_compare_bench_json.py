@@ -1,0 +1,124 @@
+"""``scripts/compare_bench_json.py``: diffing bench artifacts across runs.
+
+The benchmarks emit ``benchmarks/out/<name>.json`` documents
+(``benchmarks/_emit.py``); the comparator turns two of them into
+wall-time / per-stage deltas with percent-regression flags.  Under test:
+same-bench enforcement, host/params warnings, delta math, threshold
+flagging, added/removed stages, and the CLI exit codes.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+_spec = importlib.util.spec_from_file_location(
+    "compare_bench_json", REPO_ROOT / "scripts" / "compare_bench_json.py"
+)
+cbj = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(cbj)
+
+
+def _doc(wall=10.0, *, bench="streaming_kappa", stages=None, cores=8,
+         params=None):
+    return {
+        "bench": bench,
+        "params": {"n": 200_000, "seed": 12345} if params is None else params,
+        "host": {"usable_cores": cores, "pool_start_method": "forkserver"},
+        "wall_s": wall,
+        "per_stage": {"serial": 10.0, "jobs=4": 3.5} if stages is None
+        else stages,
+    }
+
+
+class TestCompareBench:
+    def test_identical_docs_no_regressions(self):
+        result = cbj.compare_bench(_doc(), _doc())
+        assert result["comparable"]
+        assert result["regressions"] == []
+        wall = result["rows"][0]
+        assert wall["name"] == "wall_s"
+        assert wall["delta_s"] == 0.0 and wall["delta_pct"] == 0.0
+
+    def test_regression_past_threshold_is_flagged(self):
+        base = _doc(stages={"serial": 10.0})
+        cand = _doc(wall=12.0, stages={"serial": 13.0})
+        result = cbj.compare_bench(base, cand, threshold_pct=10.0)
+        assert set(result["regressions"]) == {"wall_s", "per_stage.serial"}
+        wall = result["rows"][0]
+        assert wall["flag"] == "REGRESSION"
+        assert wall["delta_pct"] == pytest.approx(20.0)
+
+    def test_improvement_is_flagged_not_a_regression(self):
+        result = cbj.compare_bench(_doc(wall=10.0), _doc(wall=7.0))
+        assert result["regressions"] == []
+        assert result["rows"][0]["flag"] == "improved"
+        assert result["rows"][0]["delta_pct"] == pytest.approx(-30.0)
+
+    def test_within_threshold_is_unflagged(self):
+        result = cbj.compare_bench(
+            _doc(wall=10.0), _doc(wall=10.5), threshold_pct=10.0
+        )
+        assert result["rows"][0]["flag"] == ""
+        assert result["regressions"] == []
+
+    def test_different_bench_names_refused(self):
+        with pytest.raises(ValueError, match="different benchmarks"):
+            cbj.compare_bench(_doc(), _doc(bench="other"))
+
+    def test_host_and_params_differences_warn(self):
+        result = cbj.compare_bench(_doc(cores=8), _doc(cores=2))
+        assert not result["comparable"]
+        assert any("usable_cores" in w for w in result["warnings"])
+        result = cbj.compare_bench(_doc(), _doc(params={"n": 5}))
+        assert any("params differ" in w for w in result["warnings"])
+
+    def test_added_and_removed_stages(self):
+        base = _doc(stages={"serial": 10.0, "old": 1.0})
+        cand = _doc(stages={"serial": 10.0, "new": 2.0})
+        rows = {r["name"]: r for r in cbj.compare_bench(base, cand)["rows"]}
+        assert rows["per_stage.old"]["flag"] == "removed"
+        assert rows["per_stage.new"]["flag"] == "added"
+        assert rows["per_stage.new"]["delta_pct"] is None
+
+    def test_zero_baseline_has_undefined_pct(self):
+        result = cbj.compare_bench(
+            _doc(wall=0.0, stages={}), _doc(wall=1.0, stages={})
+        )
+        assert result["rows"][0]["delta_pct"] is None
+        assert result["regressions"] == []
+
+    def test_render_mentions_every_row(self):
+        text = cbj.render(cbj.compare_bench(_doc(), _doc(wall=20.0)))
+        assert "wall_s" in text and "per_stage.serial" in text
+        assert "REGRESSION" in text
+
+
+class TestCompareBenchCli:
+    def _write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_cli_ok_and_fail_on_regression(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _doc())
+        cand = self._write(tmp_path, "cand.json", _doc(wall=20.0))
+        assert cbj.main([base, cand]) == 0
+        assert "REGRESSION" in capsys.readouterr().out
+        assert cbj.main([base, cand, "--fail-on-regression"]) == 1
+        same = self._write(tmp_path, "same.json", _doc())
+        assert cbj.main([base, same, "--fail-on-regression"]) == 0
+
+    def test_cli_rejects_malformed_and_mismatched(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"bench": "x"}))
+        good = self._write(tmp_path, "good.json", _doc())
+        assert cbj.main([str(bad), good]) == 2
+        other = self._write(tmp_path, "other.json", _doc(bench="other"))
+        assert cbj.main([good, other]) == 2
+        capsys.readouterr()

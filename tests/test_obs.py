@@ -37,11 +37,17 @@ from repro.parallel import ParallelComparator
 @pytest.fixture(autouse=True)
 def _clean_obs():
     """Every test starts and ends with tracing off and stores empty."""
+    from repro.obs.live import COUNTER_EVENTS, LIVE_GAUGES
+
     trace.reset()
     metrics.REGISTRY.reset()
+    COUNTER_EVENTS.reset()
+    LIVE_GAUGES.reset()
     yield
     trace.reset()
     metrics.REGISTRY.reset()
+    COUNTER_EVENTS.reset()
+    LIVE_GAUGES.reset()
 
 
 # ----------------------------------------------------------------------
@@ -319,6 +325,133 @@ class TestExport:
             export.validate_chrome_trace(doc, require_spans=("analysis.match",))
         with pytest.raises(ValueError, match="worker pids"):
             export.validate_chrome_trace(doc, min_worker_pids=5)
+
+
+# ----------------------------------------------------------------------
+# Counter (ph:"C") events through export and validation
+# ----------------------------------------------------------------------
+
+def _counter_event(name="pool.tasks_inflight", ts=5.0, value=3.0, pid=1):
+    return {
+        "name": name, "cat": "repro", "ph": "C",
+        "ts": ts, "pid": pid, "tid": 0, "args": {"value": value},
+    }
+
+
+def _span_event(ts=0.0):
+    return {
+        "name": "cli.test", "cat": "repro", "ph": "X",
+        "ts": ts, "dur": 10.0, "pid": 1, "tid": 1, "args": {},
+    }
+
+
+class TestCounterEventValidation:
+    def test_mixed_span_and_counter_stream_validates(self):
+        doc = {"traceEvents": [
+            _span_event(),
+            _counter_event(ts=1.0, value=1),
+            _counter_event(ts=2.0, value=2),
+            _counter_event(name="sweep.units_done", ts=1.5, value=4),
+        ]}
+        summary = export.validate_chrome_trace(
+            doc,
+            require_counters=("pool.tasks_inflight", "sweep.units_done"),
+            min_counter_events=3,
+        )
+        assert summary["n_counter_events"] == 3
+        assert summary["counter_names"] == [
+            "pool.tasks_inflight", "sweep.units_done"
+        ]
+        assert summary["n_spans"] == 1
+
+    def test_array_format_with_trailing_meta(self):
+        events = [
+            _span_event(),
+            _counter_event(),
+            {
+                "name": "trace_meta", "ph": "i", "s": "g", "ts": 9.0,
+                "pid": 1, "tid": 0,
+                "args": {"seed": 11, "parent_pid": 1, "sink_dropped": 2,
+                         "sink_high_water": 7},
+            },
+        ]
+        summary = export.validate_chrome_trace(events)
+        assert summary["meta"]["seed"] == 11
+        assert summary["dropped_spans"] == 2
+        assert summary["buffer_high_water"] == 7
+        assert summary["parent_pid"] == 1
+        assert summary["worker_pids"] == []
+
+    @pytest.mark.parametrize(
+        "ev, msg",
+        [
+            ({**_counter_event(), "ts": "soon"}, "numeric 'ts'"),
+            ({**_counter_event(), "ts": -1.0}, "negative ts"),
+            ({**_counter_event(), "args": {}}, "non-empty args"),
+            ({**_counter_event(), "args": {"value": "high"}}, "not numeric"),
+            ({**_counter_event(), "args": {"value": True}}, "not numeric"),
+        ],
+    )
+    def test_validator_rejects_malformed_counters(self, ev, msg):
+        with pytest.raises(ValueError, match=msg):
+            export.validate_chrome_trace({"traceEvents": [_span_event(), ev]})
+
+    def test_counter_track_ts_must_be_monotonic_per_pid_and_name(self):
+        doc = {"traceEvents": [
+            _span_event(),
+            _counter_event(ts=5.0),
+            _counter_event(ts=4.0),
+        ]}
+        with pytest.raises(ValueError, match="goes backwards"):
+            export.validate_chrome_trace(doc)
+        # Distinct tracks (other pid, other name) are independent.
+        ok = {"traceEvents": [
+            _span_event(),
+            _counter_event(ts=5.0),
+            _counter_event(ts=4.0, pid=2),
+            _counter_event(name="other", ts=1.0),
+        ]}
+        export.validate_chrome_trace(ok)
+
+    def test_counter_coverage_requirements(self):
+        doc = {"traceEvents": [_span_event(), _counter_event()]}
+        with pytest.raises(ValueError, match="missing required counter"):
+            export.validate_chrome_trace(doc, require_counters=("nope",))
+        with pytest.raises(ValueError, match="counter events"):
+            export.validate_chrome_trace(doc, min_counter_events=5)
+
+    def test_chrome_trace_merges_counter_buffer(self):
+        from repro.obs.live import COUNTER_EVENTS
+
+        spans = _sample_spans()
+        # Sample timestamps interleaved with the span epoch (ns).
+        COUNTER_EVENTS.offer_counter("pool.tasks_inflight", 900, 1.0, pid=7)
+        COUNTER_EVENTS.offer_counter("pool.tasks_inflight", 1_400, 2.0, pid=7)
+        doc = export.chrome_trace(spans)
+        cs = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert [c["args"]["value"] for c in cs] == [1.0, 2.0]
+        # The origin includes counter samples: earliest event is ts 0.
+        assert min(e["ts"] for e in doc["traceEvents"] if "ts" in e) == 0.0
+        assert doc["otherData"]["n_counter_events"] == 2
+        assert doc["otherData"]["dropped_counter_events"] == 0
+        summary = export.validate_chrome_trace(
+            doc, require_counters=("pool.tasks_inflight",)
+        )
+        assert summary["n_counter_events"] == 2
+
+    def test_trace_meta_carries_drop_count_and_high_water(self):
+        trace.enable()
+        small = trace.TraceBuffer(max_spans=2)
+        for s in _sample_spans():
+            small.append(s)
+        assert small.dropped == 1
+        assert small.high_water == 2
+        # The export surfaces the global buffer's accounting the same way.
+        doc = export.chrome_trace(_sample_spans())
+        assert doc["otherData"]["dropped_spans"] == 0
+        assert "buffer_high_water" in doc["otherData"]
+        summary = export.validate_chrome_trace(doc)
+        assert summary["dropped_spans"] == 0
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,654 @@
+"""Live observability: streaming sink, counter sampling, /metrics.
+
+The contracts of :mod:`repro.obs.sink` and :mod:`repro.obs.live`, in
+the priority order their docstrings declare:
+
+1. **Bounded memory** — a streaming trace holds O(sink capacity) spans
+   no matter how long the run: the ring's high-water mark stays flat
+   when the span count grows 10×, and anything past capacity is dropped
+   *and counted*, never silent.
+2. **Self-describing files** — both sink formats end with metadata
+   carrying the drop count and high-water mark, and
+   ``validate_chrome_trace`` accepts the streamed JSON Array Format and
+   surfaces that accounting.
+3. **A parsed mid-run scrape** — ``/metrics`` during a live
+   :class:`~repro.analysis.streamkappa.KappaMonitor` returns valid
+   Prometheus text (checked with the real parser from
+   ``scripts/scrape_metrics.py``, not a string match) including
+   per-session windowed-κ gauges.
+4. **Inertness** — a ``repro monitor`` with the streaming sink, counter
+   sampler and metrics server all enabled prints stdout byte-identical
+   to the plain run (the PR-4 differential contract extended to the
+   live layer).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from .conftest import make_trial, suite_rng
+from repro.obs import export, metrics, trace
+from repro.obs.live import (
+    COUNTER_EVENTS,
+    LIVE_GAUGES,
+    CounterEventBuffer,
+    CounterSampler,
+    LabeledGauges,
+    MetricsServer,
+    prometheus_text,
+)
+from repro.obs.metrics import histogram_quantile
+from repro.obs.sink import SpanSink
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+_spec = importlib.util.spec_from_file_location(
+    "scrape_metrics", REPO_ROOT / "scripts" / "scrape_metrics.py"
+)
+scrape_metrics = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(scrape_metrics)
+parse_prometheus = scrape_metrics.parse_prometheus
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """Every test starts and ends with tracing off and stores empty."""
+    trace.reset()
+    metrics.REGISTRY.reset()
+    COUNTER_EVENTS.reset()
+    LIVE_GAUGES.reset()
+    yield
+    trace.reset()
+    metrics.REGISTRY.reset()
+    COUNTER_EVENTS.reset()
+    LIVE_GAUGES.reset()
+
+
+def _mk_span(i: int, *, pid: int = 1000, name: str = "analysis.pair"):
+    start = 1_000_000 + i * 1_000
+    return trace.SpanRecord(name, start, 500, 400, pid, 1, {"i": i})
+
+
+# ----------------------------------------------------------------------
+# The streaming sink
+# ----------------------------------------------------------------------
+
+class TestSpanSink:
+    def test_jsonl_round_trip_with_meta(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        trace.set_meta("seed", 7)
+        with SpanSink(path, autostart=False) as sink:
+            for i in range(3):
+                assert sink.offer_span(_mk_span(i))
+            assert sink.offer_counter("pool.tasks_inflight", 2_000_000, 2.0)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        kinds = [doc["type"] for doc in lines]
+        assert kinds == ["span", "span", "span", "counter", "meta"]
+        assert lines[0]["name"] == "analysis.pair"
+        assert lines[3]["value"] == 2.0
+        meta = lines[-1]
+        assert meta["seed"] == 7
+        assert meta["sink_dropped"] == 0
+        assert meta["sink_events_written"] == 4
+        assert meta["sink_high_water"] >= 1
+
+    def test_chrome_array_file_validates_with_counters(self, tmp_path):
+        path = tmp_path / "trace.json"
+        sink = SpanSink(path, autostart=False)
+        t0 = sink.origin_ns
+        for i in range(4):
+            sink.offer_span(_mk_span(i))
+        sink.offer_counter("monitor.windows", t0 + 1_000, 1.0)
+        sink.offer_counter("monitor.windows", t0 + 2_000, 2.0)
+        sink.close()
+        summary = export.validate_chrome_trace(
+            path,
+            require_spans=("analysis.pair",),
+            require_counters=("monitor.windows",),
+            min_counter_events=2,
+        )
+        assert summary["n_spans"] == 4
+        assert summary["n_counter_events"] == 2
+        assert summary["dropped_spans"] == 0
+        assert summary["buffer_high_water"] >= 1
+        # The file itself is a JSON array (streaming format).
+        doc = json.loads(path.read_text())
+        assert isinstance(doc, list)
+        assert doc[-1]["name"] == "trace_meta"
+
+    def test_format_from_suffix_and_explicit(self, tmp_path):
+        assert SpanSink(tmp_path / "a.jsonl", autostart=False).fmt == "jsonl"
+        assert SpanSink(tmp_path / "a.json", autostart=False).fmt == "chrome"
+        assert SpanSink(tmp_path / "a.out", autostart=False).fmt == "chrome"
+        assert (
+            SpanSink(tmp_path / "b.out", fmt="jsonl", autostart=False).fmt
+            == "jsonl"
+        )
+        with pytest.raises(ValueError, match="unknown sink format"):
+            SpanSink(tmp_path / "c.json", fmt="xml")
+        with pytest.raises(ValueError, match="capacity"):
+            SpanSink(tmp_path / "d.json", capacity=0)
+
+    def test_backpressure_drops_are_counted_never_silent(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = SpanSink(path, capacity=8, autostart=False)
+        accepted = sum(sink.offer_span(_mk_span(i)) for i in range(20))
+        assert accepted == 8
+        assert sink.dropped == 12
+        assert sink.high_water == 8
+        assert metrics.counter("obs.sink.dropped").value == 12
+        sink.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        spans = [d for d in lines if d["type"] == "span"]
+        meta = lines[-1]
+        assert len(spans) == 8
+        assert meta["sink_dropped"] == 12
+        assert meta["sink_high_water"] == 8
+
+    @pytest.mark.parametrize("n", [800, 8_000])
+    def test_bounded_memory_flat_at_10x(self, tmp_path, n):
+        """Peak queue depth is O(capacity), not O(spans), at 10x length."""
+        capacity = 64
+        path = tmp_path / f"trace-{n}.jsonl"
+        sink = SpanSink(path, capacity=capacity, flush_interval_s=0.001)
+        for i in range(n):
+            sink.offer_span(_mk_span(i))
+        sink.close()
+        # The flat-memory contract: however long the trace, the ring
+        # never held more than its capacity.
+        assert sink.high_water <= capacity
+        assert sink.queued == 0
+        # Full accounting: every offered span was written or counted.
+        assert sink.events_written + sink.dropped == n
+        meta = json.loads(path.read_text().splitlines()[-1])
+        assert meta["sink_events_written"] == sink.events_written
+        assert meta["sink_dropped"] == sink.dropped
+
+    def test_installed_sink_keeps_buffer_empty(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = SpanSink(path, flush_interval_s=0.001)
+        trace.enable()
+        trace.install_sink(sink)
+        try:
+            assert trace.active_sink() is sink
+            for i in range(50):
+                with trace.span("analysis.pair", i=i):
+                    pass
+            # Spans streamed out; nothing accumulated in process memory.
+            assert len(trace.records()) == 0
+            assert len(trace.BUFFER) == 0
+        finally:
+            assert trace.uninstall_sink() is sink
+        sink.close()
+        spans = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if json.loads(line)["type"] == "span"
+        ]
+        assert len(spans) == 50
+
+    def test_reset_detaches_but_does_not_close(self, tmp_path):
+        sink = SpanSink(tmp_path / "t.jsonl", autostart=False)
+        trace.install_sink(sink)
+        trace.reset()
+        assert trace.active_sink() is None
+        assert not sink.closed
+        sink.close()
+
+    def test_close_is_idempotent_and_late_offers_drop(self, tmp_path):
+        sink = SpanSink(tmp_path / "t.jsonl", autostart=False)
+        sink.offer_span(_mk_span(0))
+        sink.close()
+        sink.close()
+        assert not sink.offer_span(_mk_span(1))
+        assert sink.dropped == 1
+
+    def test_io_errors_counted_not_raised(self, tmp_path):
+        sink = SpanSink(tmp_path / "t.jsonl", autostart=False)
+
+        class _Broken:
+            def write(self, _):
+                raise OSError("disk full")
+
+            def flush(self):
+                raise OSError("disk full")
+
+            def close(self):
+                pass
+
+        sink._file.close()
+        sink._file = _Broken()
+        sink.offer_span(_mk_span(0))
+        sink.close()  # must not raise
+        assert sink.io_error is not None
+        assert sink.dropped == 1
+        assert metrics.counter("obs.sink.io_errors").value >= 1
+
+
+class TestCounterEventBuffer:
+    def test_cap_drops_counted(self):
+        buf = CounterEventBuffer(max_events=3)
+        for i in range(5):
+            buf.offer_counter("x", i, float(i))
+        assert len(buf) == 3
+        assert buf.dropped == 2
+        buf.reset()
+        assert len(buf) == 0 and buf.dropped == 0
+
+
+# ----------------------------------------------------------------------
+# The counter sampler
+# ----------------------------------------------------------------------
+
+class TestCounterSampler:
+    def test_emits_only_changed_values(self):
+        buf = CounterEventBuffer()
+        sampler = CounterSampler(buf, interval_s=60, autostart=False)
+        metrics.counter("pool.tasks_submitted").add(3)
+        metrics.gauge("pool.tasks_inflight").set(2)
+        assert sampler.sample() == 2
+        assert sampler.sample() == 0  # nothing changed
+        metrics.counter("pool.tasks_submitted").add()
+        assert sampler.sample() == 1
+        names = [name for name, *_ in buf.events()]
+        assert names.count("pool.tasks_submitted") == 2
+        assert names.count("pool.tasks_inflight") == 1
+
+    def test_labeled_gauges_become_labeled_tracks(self):
+        buf = CounterEventBuffer()
+        sampler = CounterSampler(buf, interval_s=60, autostart=False)
+        LIVE_GAUGES.set("monitor.window_kappa", {"session": "run1"}, 0.93)
+        LIVE_GAUGES.set("monitor.window_kappa", {"session": "run2"}, 0.88)
+        sampler.sample()
+        names = sorted(name for name, *_ in buf.events())
+        assert names == [
+            "monitor.window_kappa{session=run1}",
+            "monitor.window_kappa{session=run2}",
+        ]
+
+    def test_close_takes_a_final_sample(self):
+        buf = CounterEventBuffer()
+        sampler = CounterSampler(buf, interval_s=3600, autostart=False)
+        metrics.counter("monitor.windows").add(5)
+        sampler.close()
+        assert [e[0] for e in buf.events()] == ["monitor.windows"]
+        assert buf.events()[0][2] == 5.0
+        sampler.close()  # idempotent
+        assert len(buf.events()) == 1
+
+    def test_background_tick_samples_into_target(self):
+        buf = CounterEventBuffer()
+        metrics.counter("monitor.packets").add(1)
+        with CounterSampler(buf, interval_s=0.005) as sampler:
+            deadline = time.monotonic() + 2.0
+            while not buf.events() and time.monotonic() < deadline:
+                time.sleep(0.01)
+        assert sampler.samples_emitted >= 1
+        assert any(name == "monitor.packets" for name, *_ in buf.events())
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError, match="interval"):
+            CounterSampler(CounterEventBuffer(), interval_s=0)
+
+    def test_sampler_timestamps_are_monotonic_per_track(self):
+        buf = CounterEventBuffer()
+        sampler = CounterSampler(buf, interval_s=60, autostart=False)
+        for k in range(4):
+            metrics.counter("pool.tasks_submitted").add()
+            sampler.sample()
+        track = [e for e in buf.events() if e[0] == "pool.tasks_submitted"]
+        ts = [e[1] for e in track]
+        assert ts == sorted(ts)
+
+
+class TestLabeledGauges:
+    def test_last_write_wins_and_sorted_snapshot(self):
+        g = LabeledGauges()
+        g.set("m", {"session": "b"}, 1.0)
+        g.set("m", {"session": "a"}, 2.0)
+        g.set("m", {"session": "a"}, 3.0)
+        snap = g.snapshot()
+        assert snap == [
+            ("m", {"session": "a"}, 3.0),
+            ("m", {"session": "b"}, 1.0),
+        ]
+        assert len(g) == 2
+        g.reset()
+        assert g.snapshot() == []
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition: renderer, parser, server
+# ----------------------------------------------------------------------
+
+class TestPrometheusText:
+    def test_counters_gauges_histograms_parse(self):
+        metrics.counter("pool.tasks_submitted").add(7)
+        metrics.gauge("pool.workers").set(4)
+        h = metrics.histogram("pool.queue_wait_ns")
+        for v in (100, 1_000, 100_000):
+            h.observe(v)
+        text = prometheus_text()
+        families = parse_prometheus(text)
+        c = families["repro_pool_tasks_submitted_total"]
+        assert c["type"] == "counter"
+        assert c["samples"][0][2] == 7.0
+        g = families["repro_pool_workers"]
+        assert g["type"] == "gauge"
+        assert g["samples"][0][2] == 4.0
+        hist = families["repro_pool_queue_wait_ns"]
+        assert hist["type"] == "histogram"
+        buckets = {
+            labels["le"]: value
+            for name, labels, value in hist["samples"]
+            if name.endswith("_bucket")
+        }
+        assert buckets["+Inf"] == 3.0
+        # Cumulative counts are non-decreasing in le order.
+        finite = sorted(
+            (float(le), v) for le, v in buckets.items() if le != "+Inf"
+        )
+        values = [v for _, v in finite]
+        assert values == sorted(values)
+        count = next(
+            v for name, _, v in hist["samples"] if name.endswith("_count")
+        )
+        total = next(
+            v for name, _, v in hist["samples"] if name.endswith("_sum")
+        )
+        assert count == 3.0 and total == 101_100.0
+
+    def test_labeled_live_gauges_render_with_escaping(self):
+        LIVE_GAUGES.set("monitor.window_kappa", {"session": 'run"1\\x'}, 0.5)
+        families = parse_prometheus(prometheus_text())
+        ((name, labels, value),) = families["repro_monitor_window_kappa"][
+            "samples"
+        ]
+        assert labels == {"session": 'run"1\\x'}
+        assert value == 0.5
+
+    def test_empty_registry_is_valid_exposition(self):
+        assert parse_prometheus(prometheus_text()) == {}
+
+
+class TestMetricsServer:
+    def test_metrics_and_healthz_and_404(self):
+        metrics.counter("monitor.windows").add(2)
+        LIVE_GAUGES.set("monitor.window_kappa", {"session": "r1"}, 0.91)
+        trace.set_meta("command", "monitor")
+        with MetricsServer(0) as server:
+            assert server.port > 0
+            with urllib.request.urlopen(server.url + "/metrics") as resp:
+                assert resp.status == 200
+                assert "text/plain" in resp.headers["Content-Type"]
+                families = parse_prometheus(resp.read().decode())
+            assert (
+                families["repro_monitor_windows_total"]["samples"][0][2] == 2.0
+            )
+            ((_, labels, value),) = families["repro_monitor_window_kappa"][
+                "samples"
+            ]
+            assert labels == {"session": "r1"} and value == 0.91
+            with urllib.request.urlopen(server.url + "/healthz") as resp:
+                health = json.loads(resp.read().decode())
+            assert health["status"] == "ok"
+            assert health["meta"]["command"] == "monitor"
+            assert health["counters"]["monitor.windows"] == 2
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(server.url + "/nope")
+            assert err.value.code == 404
+        server.close()  # idempotent after the context exit
+
+    def test_concurrent_scrapes(self):
+        metrics.counter("monitor.packets").add(10)
+        errors = []
+        with MetricsServer(0) as server:
+            def scrape():
+                try:
+                    with urllib.request.urlopen(server.url + "/metrics") as r:
+                        parse_prometheus(r.read().decode())
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=scrape) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert errors == []
+
+
+# ----------------------------------------------------------------------
+# Histogram quantiles (--stats p50/p95/p99)
+# ----------------------------------------------------------------------
+
+class TestHistogramQuantile:
+    def test_empty_is_zero(self):
+        h = metrics.histogram("empty.ns")
+        assert histogram_quantile(h.snapshot(), 0.5) == 0.0
+
+    def test_single_observation_is_exact(self):
+        h = metrics.histogram("one.ns")
+        h.observe(12_345)
+        snap = h.snapshot()
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram_quantile(snap, q) == 12_345.0
+
+    def test_quantiles_ordered_and_clamped(self):
+        rng = suite_rng(salt=0x11FE)
+        h = metrics.histogram("spread.ns")
+        values = rng.integers(100, 10_000_000, size=500)
+        for v in values:
+            h.observe(int(v))
+        snap = h.snapshot()
+        p50 = histogram_quantile(snap, 0.50)
+        p95 = histogram_quantile(snap, 0.95)
+        p99 = histogram_quantile(snap, 0.99)
+        assert snap["min"] <= p50 <= p95 <= p99 <= snap["max"]
+        # A log2-bucket estimate is within one bucket of the truth.
+        exact = float(np.quantile(values, 0.5))
+        assert p50 <= exact * 2 and p50 >= exact / 2
+
+    def test_rejects_out_of_range(self):
+        h = metrics.histogram("x.ns")
+        h.observe(10)
+        with pytest.raises(ValueError):
+            histogram_quantile(h.snapshot(), 1.5)
+
+    def test_stats_table_includes_quantile_line(self):
+        h = metrics.histogram("pool.queue_wait_ns")
+        for v in (1_000, 2_000, 400_000):
+            h.observe(v)
+        table = export.stats_table([])
+        assert "p50=" in table and "p95=" in table and "p99=" in table
+
+
+# ----------------------------------------------------------------------
+# Mid-run scrape of a live KappaMonitor
+# ----------------------------------------------------------------------
+
+def _jittered(base, rng, sigma, label):
+    """A run: the baseline plus timing noise, re-sorted to arrival order."""
+    times = base + rng.normal(0, sigma, size=base.shape[0])
+    order = np.argsort(times, kind="stable")
+    tags = np.arange(base.shape[0])[order]
+    return make_trial(times[order], tags=tags, label=label)
+
+
+def _monitor_pair(n=3_000, salt=0xA11CE):
+    rng = suite_rng(salt=salt)
+    base = np.cumsum(rng.uniform(50, 150, size=n))
+    a = make_trial(base, label="A")
+    b = _jittered(base, rng, 20, "B")
+    return a, b
+
+
+class TestMonitorLiveGauges:
+    def test_mid_run_scrape_shows_per_session_kappa(self):
+        from repro.analysis import KappaMonitor
+
+        a, b = _monitor_pair()
+        mon = KappaMonitor(10_000.0)  # 10 us windows -> dozens of closes
+        half = len(a) // 2
+        with MetricsServer(0) as server:
+            # First half streamed: windows close, gauges publish.
+            mon.feed_baseline("run1", a.tags[:half], a.times_ns[:half])
+            mon.feed_run("run1", b.tags[:half], b.times_ns[:half])
+            assert mon.window_count("run1") > 0
+
+            # The mid-run scrape: parsed, not string-matched.
+            with urllib.request.urlopen(server.url + "/metrics") as resp:
+                families = parse_prometheus(resp.read().decode())
+            fam = families["repro_monitor_window_kappa"]
+            assert fam["type"] == "gauge"
+            by_session = {
+                labels["session"]: value for _, labels, value in fam["samples"]
+            }
+            assert set(by_session) == {"run1"}
+            assert 0.0 <= by_session["run1"] <= 1.0
+            assert (
+                families["repro_monitor_windows_total"]["samples"][0][2]
+                == float(mon.window_count("run1"))
+            )
+            assert (
+                families["repro_monitor_sessions"]["samples"][0][2] == 1.0
+            )
+            mid_windows = mon.window_count("run1")
+
+            # Stream the rest; the live view advances.
+            mon.feed_baseline("run1", a.tags[half:], a.times_ns[half:])
+            mon.feed_run("run1", b.tags[half:], b.times_ns[half:])
+            mon.finish("run1")
+            with urllib.request.urlopen(server.url + "/metrics") as resp:
+                families = parse_prometheus(resp.read().decode())
+            assert (
+                families["repro_monitor_windows_total"]["samples"][0][2]
+                > float(mid_windows)
+            )
+
+    def test_monitor_gauges_do_not_change_kappa(self):
+        """Publishing live gauges is observation only: κ is bit-identical
+        whether or not anything reads them."""
+        from repro.analysis import KappaMonitor
+
+        a, b = _monitor_pair(salt=0xBEE)
+
+        def run_monitor():
+            mon = KappaMonitor(10_000.0)
+            mon.feed_baseline("s", a.tags, a.times_ns)
+            reports = mon.feed_run("s", b.tags, b.times_ns)
+            reports += mon.finish("s")
+            return [r.vector.kappa() for r in reports]
+
+        plain = run_monitor()
+        LIVE_GAUGES.reset()
+        metrics.REGISTRY.reset()
+        with MetricsServer(0) as server:
+            with urllib.request.urlopen(server.url + "/healthz"):
+                pass
+            served = run_monitor()
+        assert served == plain
+
+
+# ----------------------------------------------------------------------
+# The CLI differential: full live observability is inert
+# ----------------------------------------------------------------------
+
+class TestLiveObservabilityIsInert:
+    @pytest.fixture()
+    def captures(self, tmp_path):
+        from repro.analysis import save_series
+
+        rng = suite_rng(salt=0xD1FF)
+        n = 1_500
+        base = np.cumsum(rng.uniform(50, 150, size=n))
+        trials = [make_trial(base, label="A")]
+        for j in range(2):
+            trials.append(_jittered(base, rng, 15, f"run{j + 1}"))
+        outdir = tmp_path / "caps"
+        save_series(trials, outdir)
+        return outdir
+
+    def _run_monitor(self, capsys, monkeypatch, captures, extra=()):
+        from repro import cli
+
+        for var in (
+            "REPRO_TRACE", "REPRO_STREAM_TRACE", "REPRO_METRICS_PORT",
+            "REPRO_COUNTER_TICK_MS", "REPRO_METRICS_HOLD_S",
+        ):
+            monkeypatch.delenv(var, raising=False)
+        rc = cli.main(["monitor", str(captures), "--window-ms", "0.01"]
+                      + list(extra))
+        out = capsys.readouterr().out
+        return rc, out
+
+    def test_streamed_and_served_monitor_is_bit_identical(
+        self, capsys, monkeypatch, captures, tmp_path
+    ):
+        rc_plain, out_plain = self._run_monitor(capsys, monkeypatch, captures)
+        assert rc_plain == 0
+        trace.reset()
+        metrics.REGISTRY.reset()
+        COUNTER_EVENTS.reset()
+        LIVE_GAUGES.reset()
+
+        stream = tmp_path / "live.json"
+        rc_live, out_live = self._run_monitor(
+            capsys, monkeypatch, captures,
+            extra=[
+                "--stream-trace", str(stream),
+                "--serve-metrics", "0",
+                "--counter-tick", "10",
+            ],
+        )
+        assert rc_live == 0
+        # The whole point: full live observability changes no output bit.
+        assert out_live == out_plain
+
+        # And the streamed artifact is a valid counter-bearing trace.
+        summary = export.validate_chrome_trace(
+            stream,
+            require_spans=("cli.monitor", "analysis.monitor.window"),
+            require_counters=("monitor.windows",),
+            min_counter_events=1,
+        )
+        assert summary["dropped_spans"] == 0
+        assert "monitor.window_kappa{session=run1}" in summary["counter_names"]
+
+    def test_trace_and_stream_trace_are_mutually_exclusive(
+        self, capsys, monkeypatch, captures, tmp_path
+    ):
+        rc, _ = self._run_monitor(
+            capsys, monkeypatch, captures,
+            extra=[
+                "--trace", str(tmp_path / "a.json"),
+                "--stream-trace", str(tmp_path / "b.json"),
+            ],
+        )
+        assert rc == 2
+
+    def test_one_shot_trace_gains_counter_tracks(
+        self, capsys, monkeypatch, captures, tmp_path
+    ):
+        path = tmp_path / "oneshot.json"
+        rc, _ = self._run_monitor(
+            capsys, monkeypatch, captures,
+            extra=["--trace", str(path), "--counter-tick", "10"],
+        )
+        assert rc == 0
+        summary = export.validate_chrome_trace(
+            path,
+            require_spans=("cli.monitor",),
+            require_counters=("monitor.windows",),
+            min_counter_events=1,
+        )
+        assert summary["meta"]["n_counter_events"] >= 1
